@@ -1,0 +1,82 @@
+"""Ablation: each constraint family's contribution to accuracy.
+
+Removes one family at a time from the estimation problem: FIFO
+(fifo_mode='none'), sum-of-delays (no Eq. (6)/(7) rows), and the
+similarity objective itself (anchor-only, i.e. interval midpoints).
+Expected: the full system wins; the sum-of-delays rows are the strongest
+single ingredient (they carry the only sub-interval timing information).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import simulated_trace
+from repro.analysis.tables import format_sweep_table
+from repro.core.constraints import ConstraintConfig
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+
+
+def _error_of(trace, config):
+    estimate = DomoReconstructor(config).estimate(trace)
+    errors = []
+    for packet in trace.received:
+        truth = trace.truth_of(packet.packet_id).node_delays()
+        errors.extend(
+            abs(a - b)
+            for a, b in zip(estimate.delays_of(packet.packet_id), truth)
+        )
+    return float(np.mean(errors))
+
+
+def _variants():
+    full = DomoConfig()
+
+    no_fifo = DomoConfig(fifo_mode="none")
+
+    no_sum = DomoConfig()
+    no_sum.constraints = ConstraintConfig(use_upper_sum=False)
+    # Disable the guaranteed-lower rows too by making slack enormous.
+    no_sum.constraints.sum_slack_ms = 1e9
+
+    midpoints = DomoConfig(fifo_mode="none")
+    midpoints.constraints = ConstraintConfig(
+        use_upper_sum=False, sum_slack_ms=1e9, fifo_horizon_ms=0.0
+    )
+    midpoints.estimator.epsilon_ms = 0.0  # no similarity pairs at all
+
+    return [
+        ("full", full),
+        ("no_fifo", no_fifo),
+        ("no_sum", no_sum),
+        ("intervals_only", midpoints),
+    ]
+
+
+def _sweep(trace):
+    return [
+        [name, _error_of(trace, config)] for name, config in _variants()
+    ]
+
+
+def test_ablation_constraint_families(benchmark, fig6_trace):
+    rows = benchmark.pedantic(
+        _sweep, args=(fig6_trace,), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(["variant", "err_ms"], rows))
+    by_name = dict(rows)
+    assert by_name["full"] <= by_name["intervals_only"], (
+        "the full constraint system must beat bare interval midpoints"
+    )
+    assert by_name["full"] <= by_name["no_sum"] + 0.2, (
+        "removing sum-of-delays rows must not help"
+    )
+
+
+def main() -> None:
+    trace = simulated_trace()
+    print(f"trace: {trace.num_received} packets\n")
+    print(format_sweep_table(["variant", "err_ms"], _sweep(trace)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Ablation: FIFO-constraint handling — SDR vs linearized vs none.
+
+DESIGN.md calls out the choice between the paper's faithful semidefinite
+relaxation (Eq. (2)-(4)) and the resolved linearization used by default.
+This benchmark compares the three modes on one trace: accuracy and
+PC-side cost. Expected: linearized ~ SDR in accuracy at a fraction of the
+cost (most pairs resolve), and both beat dropping FIFO entirely.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import simulated_trace
+from repro.analysis.tables import format_sweep_table
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+
+#: SDR lifts cost O(n^2) variables per window, so the ablation runs on a
+#: small trace with small windows.
+ABLATION_NODES = 36
+ABLATION_DURATION_MS = 60_000.0
+
+
+def _run_mode(trace, mode):
+    config = DomoConfig(
+        fifo_mode=mode,
+        target_window_packets=20 if mode == "sdr" else 60,
+    )
+    estimate = DomoReconstructor(config).estimate(trace)
+    errors = []
+    for packet in trace.received:
+        truth = trace.truth_of(packet.packet_id).node_delays()
+        errors.extend(
+            abs(a - b)
+            for a, b in zip(estimate.delays_of(packet.packet_id), truth)
+        )
+    return float(np.mean(errors)), estimate.time_per_delay_ms, estimate.stats
+
+
+def _sweep(trace):
+    rows = []
+    for mode in ("linearized", "sdr", "none"):
+        error, ms_per_delay, _ = _run_mode(trace, mode)
+        rows.append([mode, error, ms_per_delay])
+    return rows
+
+
+def test_ablation_fifo_modes(benchmark):
+    trace = simulated_trace(
+        num_nodes=ABLATION_NODES, duration_ms=ABLATION_DURATION_MS
+    )
+    rows = benchmark.pedantic(_sweep, args=(trace,), rounds=1, iterations=1)
+    print()
+    print(format_sweep_table(["fifo_mode", "err_ms", "ms_per_delay"], rows))
+    by_mode = {row[0]: row for row in rows}
+    # The SDR lift must not be catastrophically worse than linearized.
+    assert by_mode["sdr"][1] < 3.0 * by_mode["linearized"][1] + 1.0
+    # Linearized resolution is the cheap mode.
+    assert by_mode["linearized"][2] <= by_mode["sdr"][2] + 1.0
+
+
+def main() -> None:
+    trace = simulated_trace(
+        num_nodes=ABLATION_NODES, duration_ms=ABLATION_DURATION_MS
+    )
+    print(f"trace: {trace.num_received} packets\n")
+    print(format_sweep_table(
+        ["fifo_mode", "err_ms", "ms_per_delay"], _sweep(trace)
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Figure 10: impact of the graph cut size (paper §VI.C).
+
+The cut size is the number of constraint-graph vertices extracted around
+each bound target. Expected shape (paper Fig. 10): larger cuts give
+(weakly) tighter bounds but cost more time per bound; the paper settles
+on 10000 at ~192 ms per bound. Default cut sizes are scaled to the
+smaller default trace (whose constraint graph has fewer vertices than
+5000); REPRO_FULL=1 uses the paper's 5000-20000.
+"""
+
+from benchmarks.conftest import BOUND_SAMPLE, FIG10_CUTS, simulated_trace
+from repro.analysis.experiments import evaluate_bounds
+from repro.analysis.tables import format_sweep_table
+from repro.core.pipeline import DomoConfig
+
+
+def _cut_sweep(trace, cuts=FIG10_CUTS, sample=BOUND_SAMPLE):
+    rows = []
+    for cut in cuts:
+        config = DomoConfig(graph_cut_size=cut)
+        result = evaluate_bounds(
+            trace, domo_config=config, max_packets=sample
+        )
+        rows.append(
+            [cut, result.domo.mean, result.domo_time_per_bound_ms]
+        )
+    return rows
+
+
+def test_fig10_graph_cut(benchmark, fig6_trace):
+    rows = benchmark.pedantic(
+        _cut_sweep,
+        args=(fig6_trace,),
+        kwargs={"sample": max(20, BOUND_SAMPLE // 2)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_sweep_table(
+        ["cut_size", "domo_bound_ms", "ms_per_bound"], rows
+    ))
+    print("paper: tighter bounds with larger cuts; ~192 ms/bound at 10000")
+    widths = [r[1] for r in rows]
+    # Shape: the largest cut is at least as tight as the smallest.
+    assert widths[-1] <= widths[0] + 1e-6
+
+
+def main() -> None:
+    trace = simulated_trace()
+    print(f"trace: {trace.num_received} packets\n")
+    print(format_sweep_table(
+        ["cut_size", "domo_bound_ms", "ms_per_bound"], _cut_sweep(trace)
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""Figure 6: the headline accuracy comparison (paper §VI.B).
+
+(a) estimated-value accuracy, Domo vs MNT (paper: 3.58 ms vs 9.33 ms,
+    >70% of Domo's errors below 4 ms);
+(b) bound accuracy, Domo vs MNT (paper: 16.11 ms vs 40.97 ms);
+(c) event-order displacement, Domo vs MessageTracing (paper: 0.03 vs 3.39).
+
+Run as a pytest benchmark (``pytest benchmarks/bench_fig6_accuracy.py
+--benchmark-only -s``) or directly (``python benchmarks/bench_fig6_accuracy.py``)
+for the full per-node table.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BOUND_SAMPLE, default_domo_config, simulated_trace
+from repro.analysis.experiments import (
+    evaluate_accuracy,
+    evaluate_bounds,
+    evaluate_displacement,
+)
+from repro.analysis.tables import format_cdf, format_stats_table
+
+PAPER = {
+    "domo_error_ms": 3.58,
+    "mnt_error_ms": 9.33,
+    "domo_bound_ms": 16.11,
+    "mnt_bound_ms": 40.97,
+    "domo_displacement": 0.03,
+    "tracing_displacement": 3.39,
+}
+
+
+def test_fig6a_estimation_accuracy(benchmark, fig6_trace):
+    result = benchmark.pedantic(
+        evaluate_accuracy, args=(fig6_trace,), rounds=1, iterations=1
+    )
+    print()
+    print(format_stats_table(
+        [("Domo", result.domo), ("MNT", result.mnt)],
+        value_label="Fig. 6(a) estimation error (ms)",
+        thresholds=(4.0,),
+    ))
+    print(f"paper: Domo {PAPER['domo_error_ms']} ms, MNT {PAPER['mnt_error_ms']} ms")
+    # Shape assertions: Domo wins clearly; most errors stay small.
+    assert result.domo.mean < result.mnt.mean
+    assert result.domo.fraction_below(4.0) > 0.5
+
+
+def test_fig6b_bound_accuracy(benchmark, fig6_trace):
+    result = benchmark.pedantic(
+        evaluate_bounds,
+        args=(fig6_trace,),
+        kwargs={"max_packets": BOUND_SAMPLE,
+                "domo_config": default_domo_config()},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_stats_table(
+        [("Domo", result.domo), ("MNT", result.mnt)],
+        value_label="Fig. 6(b) delay bound width (ms)",
+    ))
+    print(
+        f"paper: Domo {PAPER['domo_bound_ms']} ms, MNT {PAPER['mnt_bound_ms']} ms; "
+        f"measured Domo LP cost {result.domo_time_per_bound_ms:.0f} ms/bound"
+    )
+    assert result.domo.mean < result.mnt.mean
+
+
+def test_fig6c_displacement(benchmark, fig6_trace):
+    result = benchmark.pedantic(
+        evaluate_displacement, args=(fig6_trace,), rounds=1, iterations=1
+    )
+    print()
+    print(format_stats_table(
+        [
+            ("Domo", result.domo),
+            ("MessageTracing", result.message_tracing),
+        ],
+        value_label="Fig. 6(c) event displacement",
+    ))
+    print(
+        f"paper: Domo {PAPER['domo_displacement']}, "
+        f"MessageTracing {PAPER['tracing_displacement']}"
+    )
+    assert result.domo.mean < result.message_tracing.mean
+
+
+def main() -> None:
+    trace = simulated_trace()
+    print(f"trace: {trace.num_received} packets\n")
+
+    accuracy = evaluate_accuracy(trace)
+    print(format_stats_table(
+        [("Domo", accuracy.domo), ("MNT", accuracy.mnt)],
+        value_label="Fig. 6(a) estimation error (ms)",
+        thresholds=(4.0,),
+    ))
+    print(format_cdf([("Domo", accuracy.domo), ("MNT", accuracy.mnt)]))
+    print("\nper-node average node delay (first 15 nodes):")
+    print(f"{'node':>6}{'true':>10}{'Domo':>10}{'MNT':>10}")
+    for node in sorted(accuracy.per_node_average_delay)[:15]:
+        true_avg, domo_avg, mnt_avg = accuracy.per_node_average_delay[node]
+        print(f"{node:>6}{true_avg:>10.2f}{domo_avg:>10.2f}{mnt_avg:>10.2f}")
+
+    bounds = evaluate_bounds(trace, max_packets=BOUND_SAMPLE,
+                             domo_config=default_domo_config())
+    print()
+    print(format_stats_table(
+        [("Domo", bounds.domo), ("MNT", bounds.mnt)],
+        value_label="Fig. 6(b) delay bound width (ms)",
+    ))
+
+    displacement = evaluate_displacement(trace)
+    print()
+    print(format_stats_table(
+        [
+            ("Domo", displacement.domo),
+            ("MessageTracing", displacement.message_tracing),
+        ],
+        value_label="Fig. 6(c) event displacement",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Figure 7: robustness to packet loss (paper §VI.B).
+
+The paper removes 10-30% of the received trace at random and reconstructs
+the rest. Expected shape: Domo's error grows only mildly (paper: 3.62 to
+4.31 ms) and stays well below MNT's (10.97 to 12.29 ms); bound widths and
+displacements behave likewise.
+
+Run via pytest (``--benchmark-only -s``) or directly for all three tables.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BOUND_SAMPLE, default_domo_config, simulated_trace
+from repro.analysis.experiments import (
+    evaluate_accuracy,
+    evaluate_bounds,
+    evaluate_displacement,
+)
+from repro.analysis.tables import format_sweep_table
+from repro.sim import drop_random_packets
+
+LOSS_RATES = (0.0, 0.1, 0.2, 0.3)
+
+PAPER_ERROR = {0.1: (3.62, 10.97), 0.3: (4.31, 12.29)}  # (Domo, MNT)
+
+
+def _lossy(trace, rate, seed=0):
+    if rate == 0.0:
+        return trace
+    return drop_random_packets(trace, rate, np.random.default_rng(seed))
+
+
+def _error_sweep(trace):
+    rows = []
+    for rate in LOSS_RATES:
+        result = evaluate_accuracy(_lossy(trace, rate))
+        rows.append([rate, result.domo.mean, result.mnt.mean])
+    return rows
+
+
+def test_fig7a_error_under_loss(benchmark, fig6_trace):
+    rows = benchmark.pedantic(
+        _error_sweep, args=(fig6_trace,), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(
+        ["loss_rate", "domo_err_ms", "mnt_err_ms"], rows
+    ))
+    print("paper @0.1: Domo 3.62 / MNT 10.97; @0.3: Domo 4.31 / MNT 12.29")
+    for rate, domo_err, mnt_err in rows:
+        assert domo_err < mnt_err, f"Domo must beat MNT at loss {rate}"
+    # Degradation with loss is graceful: below 2x the loss-free error.
+    assert rows[-1][1] < 2.0 * rows[0][1] + 1.0
+
+
+def test_fig7b_bounds_under_loss(benchmark, fig6_trace):
+    def sweep():
+        rows = []
+        for rate in (0.0, 0.3):
+            result = evaluate_bounds(
+                _lossy(fig6_trace, rate),
+                max_packets=BOUND_SAMPLE,
+                domo_config=default_domo_config(),
+            )
+            rows.append([rate, result.domo.mean, result.mnt.mean])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_sweep_table(
+        ["loss_rate", "domo_bound_ms", "mnt_bound_ms"], rows
+    ))
+    print("paper: Domo 16.21->17.20 ms, MNT 41.03->41.14 ms")
+    for rate, domo_w, mnt_w in rows:
+        assert domo_w < mnt_w
+
+
+def test_fig7c_displacement_under_loss(benchmark, fig6_trace):
+    def sweep():
+        rows = []
+        for rate in (0.0, 0.3):
+            result = evaluate_displacement(_lossy(fig6_trace, rate))
+            rows.append([rate, result.domo.mean, result.message_tracing.mean])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_sweep_table(
+        ["loss_rate", "domo_disp", "tracing_disp"], rows
+    ))
+    print("paper: Domo 0.05->0.58, MessageTracing 4.02->4.47")
+    for rate, domo_d, tracing_d in rows:
+        assert domo_d <= tracing_d
+
+
+def main() -> None:
+    trace = simulated_trace()
+    print(f"trace: {trace.num_received} packets\n")
+    print(format_sweep_table(
+        ["loss_rate", "domo_err_ms", "mnt_err_ms"], _error_sweep(trace)
+    ))
+    print()
+    bound_rows = []
+    disp_rows = []
+    for rate in LOSS_RATES:
+        lossy = _lossy(trace, rate)
+        bounds = evaluate_bounds(lossy, max_packets=BOUND_SAMPLE,
+                                 domo_config=default_domo_config())
+        displacement = evaluate_displacement(lossy)
+        bound_rows.append([rate, bounds.domo.mean, bounds.mnt.mean])
+        disp_rows.append(
+            [rate, displacement.domo.mean, displacement.message_tracing.mean]
+        )
+    print(format_sweep_table(
+        ["loss_rate", "domo_bound_ms", "mnt_bound_ms"], bound_rows
+    ))
+    print()
+    print(format_sweep_table(
+        ["loss_rate", "domo_disp", "tracing_disp"], disp_rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

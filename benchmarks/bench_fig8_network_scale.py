@@ -1,0 +1,114 @@
+"""Figure 8: impact of network scale (paper §VI.B).
+
+The paper evaluates 100 / 225 / 400-node uniform networks. Expected
+shape: all methods degrade somewhat with scale (longer paths, more
+contention), Domo stays ahead throughout (paper: error 2.36->3.58 ms vs
+MNT 4.51->9.33 ms; bounds 12.01->16.11 vs 25.56->40.97; displacement
+0.001->0.03 vs 2.97->3.39).
+
+Default sizes are scaled down (49/100/169); set REPRO_FULL=1 for the
+paper's sizes.
+"""
+
+from benchmarks.conftest import (
+    BOUND_SAMPLE,
+    FIG8_SIZES,
+    default_domo_config,
+    simulated_trace,
+)
+from repro.analysis.experiments import (
+    evaluate_accuracy,
+    evaluate_bounds,
+    evaluate_displacement,
+)
+from repro.analysis.tables import format_sweep_table
+
+
+def _scale_sweep(sizes):
+    rows = []
+    for size in sizes:
+        trace = simulated_trace(num_nodes=size)
+        accuracy = evaluate_accuracy(trace)
+        rows.append([size, trace.num_received, accuracy.domo.mean,
+                     accuracy.mnt.mean])
+    return rows
+
+
+def test_fig8a_error_vs_scale(benchmark):
+    rows = benchmark.pedantic(
+        _scale_sweep, args=(FIG8_SIZES,), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(
+        ["nodes", "packets", "domo_err_ms", "mnt_err_ms"], rows
+    ))
+    print("paper: Domo 2.36->3.58 ms, MNT 4.51->9.33 ms for 100->400 nodes")
+    for _, _, domo_err, mnt_err in rows:
+        assert domo_err < mnt_err
+
+
+def test_fig8b_bounds_vs_scale(benchmark):
+    def sweep():
+        rows = []
+        for size in (FIG8_SIZES[0], FIG8_SIZES[-1]):
+            trace = simulated_trace(num_nodes=size)
+            result = evaluate_bounds(trace, max_packets=BOUND_SAMPLE,
+                                     domo_config=default_domo_config())
+            rows.append([size, result.domo.mean, result.mnt.mean])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_sweep_table(
+        ["nodes", "domo_bound_ms", "mnt_bound_ms"], rows
+    ))
+    print("paper: Domo 12.01->16.11 ms, MNT 25.56->40.97 ms")
+    for _, domo_w, mnt_w in rows:
+        assert domo_w < mnt_w
+
+
+def test_fig8c_displacement_vs_scale(benchmark):
+    def sweep():
+        rows = []
+        for size in (FIG8_SIZES[0], FIG8_SIZES[-1]):
+            trace = simulated_trace(num_nodes=size)
+            result = evaluate_displacement(trace)
+            rows.append(
+                [size, result.domo.mean, result.message_tracing.mean]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_sweep_table(["nodes", "domo_disp", "tracing_disp"], rows))
+    print("paper: Domo 0.001->0.03, MessageTracing 2.97->3.39")
+    for _, domo_d, tracing_d in rows:
+        assert domo_d <= tracing_d
+
+
+def main() -> None:
+    rows_a, rows_b, rows_c = [], [], []
+    for size in FIG8_SIZES:
+        trace = simulated_trace(num_nodes=size)
+        accuracy = evaluate_accuracy(trace)
+        bounds = evaluate_bounds(trace, max_packets=BOUND_SAMPLE,
+                                 domo_config=default_domo_config())
+        displacement = evaluate_displacement(trace)
+        rows_a.append(
+            [size, trace.num_received, accuracy.domo.mean, accuracy.mnt.mean]
+        )
+        rows_b.append([size, bounds.domo.mean, bounds.mnt.mean])
+        rows_c.append(
+            [size, displacement.domo.mean, displacement.message_tracing.mean]
+        )
+    print(format_sweep_table(
+        ["nodes", "packets", "domo_err_ms", "mnt_err_ms"], rows_a
+    ))
+    print()
+    print(format_sweep_table(["nodes", "domo_bound_ms", "mnt_bound_ms"], rows_b))
+    print()
+    print(format_sweep_table(["nodes", "domo_disp", "tracing_disp"], rows_c))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Shared benchmark infrastructure.
+
+Every ``bench_*.py`` regenerates one of the paper's tables or figures.
+Default scales are laptop-sized; set ``REPRO_FULL=1`` for the paper's
+400-node scale (slower). Traces are cached per scale so the simulation
+cost is paid once per session.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.scenarios import paper_scenario
+from repro.sim import Simulator
+
+FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+#: default evaluation network (paper: 400 nodes; scaled default: 100).
+FIG6_NODES = 400 if FULL else 100
+#: network-scale sweep of Fig. 8 (paper: 100 / 225 / 400).
+FIG8_SIZES = (100, 225, 400) if FULL else (49, 100, 169)
+#: duration of each simulated run, ms.
+DURATION_MS = 240_000.0 if FULL else 120_000.0
+#: packets whose bounds are LP-solved in bound benchmarks.
+BOUND_SAMPLE = 400 if FULL else 80
+#: graph cut sizes of Fig. 10 (paper: 5000-20000). Our constraint graph
+#: is sparser than the paper's (FIFO pairs are capped per visit), so
+#: constraint locality saturates at much smaller cuts; the scaled sweep
+#: brackets that saturation point to expose the same tighter-with-larger
+#: shape.
+FIG10_CUTS = (5_000, 10_000, 20_000) if FULL else (10, 30, 60, 120, 500)
+#: default graph cut for Fig. 6/7/8 bound runs — the paper's 10000 is a
+#: fraction of its total unknowns; the scaled default keeps the same
+#: proportion on the smaller trace.
+DEFAULT_CUT = 10_000 if FULL else 1_500
+
+_TRACE_CACHE: dict = {}
+
+
+def default_domo_config():
+    """Substrate-tuned DomoConfig with the bench-scale graph cut size."""
+    from repro.analysis.experiments import substrate_domo_config
+
+    return substrate_domo_config(graph_cut_size=DEFAULT_CUT)
+
+
+def simulated_trace(num_nodes: int = FIG6_NODES, seed: int = 1,
+                    duration_ms: float = DURATION_MS):
+    """Simulate (or reuse) the standard scenario at a given scale."""
+    key = (num_nodes, seed, duration_ms)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = Simulator(
+            paper_scenario(
+                num_nodes=num_nodes, seed=seed, duration_ms=duration_ms
+            )
+        ).run()
+    return _TRACE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def fig6_trace():
+    return simulated_trace()

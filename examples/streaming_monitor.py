@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Online monitoring: reconstruct per-hop delays in sliding batches.
+
+A deployment doesn't wait for the full trace: the PC processes the sink
+stream in batches as packets arrive, reusing the paper's overlapping
+time-window idea *across* batches — each batch includes a tail of the
+previous one so boundary packets keep their constraints, and only the
+non-overlapping region's estimates are committed.
+
+    python examples/streaming_monitor.py
+"""
+
+import numpy as np
+
+from repro import DomoConfig, DomoReconstructor, NetworkConfig, simulate_network
+
+
+def streaming_estimates(trace, batch_ms=20_000.0, overlap_ms=10_000.0):
+    """Commit estimates batch by batch, as an online pipeline would."""
+    domo = DomoReconstructor(DomoConfig())
+    packets = sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+    if not packets:
+        return {}, 0
+    horizon = packets[-1].sink_arrival_ms
+    committed = {}
+    batches = 0
+    commit_from = -np.inf
+    start = packets[0].sink_arrival_ms
+    while commit_from < horizon:
+        batch_end = start + batch_ms
+        batch = [
+            p for p in packets
+            if start - overlap_ms <= p.sink_arrival_ms < batch_end
+        ]
+        if batch:
+            estimate = domo.estimate(batch)
+            for p in batch:
+                if p.sink_arrival_ms >= commit_from:
+                    committed[p.packet_id] = estimate.arrival_times[p.packet_id]
+            batches += 1
+        commit_from = batch_end
+        start = batch_end
+    return committed, batches
+
+
+def main() -> None:
+    print("=== streaming per-hop delay monitoring ===\n")
+    trace = simulate_network(
+        NetworkConfig(
+            num_nodes=49,
+            placement="grid",
+            duration_ms=120_000.0,
+            packet_period_ms=4_000.0,
+            seed=12,
+        )
+    )
+    print(f"{trace.num_received} packets over 120 s\n")
+
+    committed, batches = streaming_estimates(trace)
+    print(f"processed {batches} batches of ~20 s each\n")
+
+    # Compare streaming vs full-trace (offline) accuracy.
+    offline = DomoReconstructor(DomoConfig()).estimate(trace)
+    errors_stream, errors_offline = [], []
+    for p in trace.received:
+        truth = trace.truth_of(p.packet_id).node_delays()
+        if p.packet_id in committed:
+            times = committed[p.packet_id]
+            stream_delays = [b - a for a, b in zip(times, times[1:])]
+            errors_stream.extend(
+                abs(a - b) for a, b in zip(stream_delays, truth)
+            )
+        errors_offline.extend(
+            abs(a - b) for a, b in zip(offline.delays_of(p.packet_id), truth)
+        )
+    print(
+        f"offline accuracy  : {np.mean(errors_offline):.2f} ms mean error"
+    )
+    print(
+        f"streaming accuracy: {np.mean(errors_stream):.2f} ms mean error "
+        f"({len(errors_stream)} delays committed online)"
+    )
+    print(
+        "\nThe sliding overlap keeps streaming accuracy close to the "
+        "offline solve while bounding per-batch latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Domo: passive per-hop per-packet delay tomography — ICDCS 2014 reproduction.
+
+Quick start::
+
+    from repro import DomoConfig, DomoReconstructor, NetworkConfig, simulate_network
+
+    trace = simulate_network(NetworkConfig(num_nodes=100, seed=1))
+    domo = DomoReconstructor(DomoConfig())
+    estimate = domo.estimate(trace)          # per-hop arrival-time estimates
+    bounds = domo.bounds(trace)              # per-hop lower/upper bounds
+
+Package map:
+
+* :mod:`repro.sim` — discrete-event collection-network simulator
+  (replaces the paper's TOSSIM/TinyOS testbed);
+* :mod:`repro.core` — Domo itself: constraints, estimation QP, SDR,
+  bound LPs, windowing, metrics;
+* :mod:`repro.baselines` — MNT and MessageTracing comparison methods;
+* :mod:`repro.optim` — from-scratch QP/LP/SDP solvers;
+* :mod:`repro.graphcut` — constraint graph, BLP, sub-graph extraction;
+* :mod:`repro.analysis` — experiment harness regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+from repro.baselines import MntReconstructor, MessageTracingReconstructor
+from repro.core import (
+    DomoConfig,
+    DomoReconstructor,
+    average_displacement,
+    bound_width_stats,
+    estimation_error_stats,
+)
+from repro.sim import (
+    NetworkConfig,
+    Simulator,
+    TraceBundle,
+    drop_random_packets,
+    simulate_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DomoConfig",
+    "DomoReconstructor",
+    "MessageTracingReconstructor",
+    "MntReconstructor",
+    "NetworkConfig",
+    "Simulator",
+    "TraceBundle",
+    "__version__",
+    "average_displacement",
+    "bound_width_stats",
+    "drop_random_packets",
+    "estimation_error_stats",
+    "simulate_network",
+]

@@ -1,0 +1,35 @@
+"""Experiment harness: scenarios, evaluations and text rendering.
+
+Everything the ``benchmarks/`` scripts and the examples share lives here,
+so each figure's script is a thin veneer over a tested library function.
+"""
+
+from repro.analysis.experiments import (
+    AccuracyComparison,
+    BoundsComparison,
+    DisplacementComparison,
+    evaluate_accuracy,
+    evaluate_bounds,
+    evaluate_displacement,
+)
+from repro.analysis.report import generate_report
+from repro.analysis.scenarios import paper_scenario
+from repro.analysis.tables import (
+    format_cdf,
+    format_stats_table,
+    format_sweep_table,
+)
+
+__all__ = [
+    "AccuracyComparison",
+    "BoundsComparison",
+    "DisplacementComparison",
+    "evaluate_accuracy",
+    "evaluate_bounds",
+    "evaluate_displacement",
+    "format_cdf",
+    "format_stats_table",
+    "format_sweep_table",
+    "generate_report",
+    "paper_scenario",
+]

@@ -1,0 +1,106 @@
+"""One-shot diagnostic report over a trace: the network-operator view.
+
+:func:`generate_report` produces the text a deployment operator would
+want from Domo: trace health, reconstruction accuracy (when ground truth
+is available), the slowest nodes by reconstructed sojourn time, and the
+method comparison. Used by ``domo report``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    evaluate_accuracy,
+    evaluate_displacement,
+    substrate_domo_config,
+)
+from repro.analysis.tables import format_stats_table
+from repro.core.pipeline import DomoReconstructor
+from repro.sim.trace import TraceBundle
+
+
+def _trace_summary(trace: TraceBundle) -> list[str]:
+    hops = [p.path_length - 1 for p in trace.received]
+    e2e = [p.e2e_delay_ms for p in trace.received]
+    lines = [
+        "== trace ==",
+        f"received packets   : {trace.num_received}",
+        f"lost packets       : {len(trace.lost_packets)}",
+        f"delivery ratio     : {trace.delivery_ratio:.3f}",
+    ]
+    if hops:
+        lines += [
+            f"mean path length   : {np.mean(hops):.2f} hops",
+            f"mean e2e delay     : {np.mean(e2e):.2f} ms "
+            f"(p95 {np.percentile(e2e, 95):.2f} ms)",
+        ]
+    return lines
+
+
+def _hotspots(trace: TraceBundle, estimate, top: int = 5) -> list[str]:
+    per_node: dict[int, list[float]] = {}
+    for packet in trace.received:
+        delays = estimate.delays_of(packet.packet_id)
+        for hop, delay in enumerate(delays):
+            per_node.setdefault(packet.path[hop], []).append(delay)
+    ranked = sorted(
+        (
+            (float(np.mean(values)), node, len(values))
+            for node, values in per_node.items()
+            if len(values) >= 5
+        ),
+        reverse=True,
+    )
+    lines = ["== slowest nodes (reconstructed mean sojourn) =="]
+    for mean_delay, node, count in ranked[:top]:
+        lines.append(
+            f"node {node:4d}: {mean_delay:8.2f} ms over {count} packets"
+        )
+    return lines
+
+
+def generate_report(
+    trace: TraceBundle,
+    compare_baselines: bool = True,
+    domo_config=None,
+) -> str:
+    """Full text report for one trace.
+
+    Accuracy sections require the trace's ground truth (always present
+    for simulated traces); the hotspot ranking needs only the sink data.
+    """
+    config = domo_config or substrate_domo_config()
+    sections: list[list[str]] = [_trace_summary(trace)]
+
+    estimate = DomoReconstructor(config).estimate(trace)
+    sections.append(_hotspots(trace, estimate))
+
+    if trace.ground_truth:
+        accuracy = evaluate_accuracy(trace, domo_config=config)
+        rows = [("Domo", accuracy.domo)]
+        if compare_baselines:
+            rows.append(("MNT", accuracy.mnt))
+        sections.append(
+            [
+                "== estimation accuracy vs ground truth ==",
+                format_stats_table(
+                    rows, value_label="per-hop error (ms)", thresholds=(4.0,)
+                ),
+            ]
+        )
+        if compare_baselines and trace.node_logs:
+            displacement = evaluate_displacement(trace, domo_config=config)
+            sections.append(
+                [
+                    "== event-order displacement ==",
+                    format_stats_table(
+                        [
+                            ("Domo", displacement.domo),
+                            ("MessageTracing", displacement.message_tracing),
+                        ],
+                        value_label="displacement",
+                    ),
+                ]
+            )
+    return "\n".join("\n".join(section) + "\n" for section in sections)

@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results (no plotting deps offline)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.metrics import ErrorStats
+
+
+def format_stats_table(
+    rows: Sequence[tuple[str, ErrorStats]],
+    value_label: str = "value",
+    thresholds: Sequence[float] = (),
+) -> str:
+    """A fixed-width table of summary statistics, one method per row."""
+    header = f"{'method':<18}{'n':>8}{'mean':>10}{'median':>10}{'p90':>10}"
+    for t in thresholds:
+        header += f"{'<' + format(t, 'g') + 'ms':>10}"
+    lines = [f"[{value_label}]", header, "-" * len(header)]
+    for name, stats in rows:
+        line = (
+            f"{name:<18}{stats.count:>8}{stats.mean:>10.3f}"
+            f"{stats.median:>10.3f}{stats.percentile(90):>10.3f}"
+        )
+        for t in thresholds:
+            line += f"{stats.fraction_below(t):>10.2f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_cdf(
+    rows: Sequence[tuple[str, ErrorStats]],
+    points: int = 10,
+    unit: str = "ms",
+) -> str:
+    """Aligned CDF series (the paper's figures are CDF plots)."""
+    lines = []
+    for name, stats in rows:
+        lines.append(f"CDF {name} ({unit}):")
+        series = stats.cdf(points=points)
+        lines.append(
+            "  "
+            + "  ".join(f"{value:8.2f}@{frac:4.2f}" for value, frac in series)
+        )
+    return "\n".join(lines)
+
+
+def format_sweep_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Generic parameter-sweep table (Figs. 7-10)."""
+    widths = [max(len(str(h)), 12) for h in header]
+    lines = [
+        "".join(f"{str(h):>{w}}" for h, w in zip(header, widths)),
+    ]
+    lines.append("-" * sum(widths))
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:>{w}.3f}")
+            else:
+                cells.append(f"{str(value):>{w}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

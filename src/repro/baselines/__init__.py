@@ -1,0 +1,23 @@
+"""Reference baselines the paper compares against (§II.B, §VI).
+
+* :mod:`repro.baselines.mnt` — MNT (Keller, Beutel, Thiele; SenSys'12):
+  per-hop arrival-time *bounds* from bracketing each packet between the
+  forwarding node's local packets, whose generation times are known.
+* :mod:`repro.baselines.message_tracing` — MessageTracing (Sundaram &
+  Eugster; DSN'13): per-node local logs of sent/received messages; the
+  global send/receive *order* is reconstructed from the causal DAG.
+"""
+
+from repro.baselines.message_tracing import (
+    MessageTracingConfig,
+    MessageTracingReconstructor,
+)
+from repro.baselines.mnt import MntConfig, MntReconstruction, MntReconstructor
+
+__all__ = [
+    "MessageTracingConfig",
+    "MessageTracingReconstructor",
+    "MntConfig",
+    "MntReconstruction",
+    "MntReconstructor",
+]

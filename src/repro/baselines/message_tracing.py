@@ -1,0 +1,181 @@
+"""MessageTracing-style event-order reconstruction (Sundaram & Eugster).
+
+MessageTracing records every message sent and received into each node's
+local storage — no message overhead, but also no global timing. Offline,
+the per-node logs are stitched into a causal DAG:
+
+* consecutive entries of one node's log are ordered (local clocks order
+  events *within* a node soundly);
+* a packet's transmission links the sender's ``send`` entry to the
+  receiver's ``recv`` entry (happens-before).
+
+A deterministic topological sort of that DAG is MessageTracing's best
+global order; how far it sits from the true order is exactly what the
+paper's *displacement* metric measures (Fig. 6(c), 7(c), 8(c)). Domo's
+counterpart order comes from sorting transmissions by estimated arrival
+times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.sim.packet import PacketId
+from repro.sim.trace import NodeLogEntry, TraceBundle
+
+#: one transmission event: packet ``p`` arriving at hop ``h`` of its path
+#: (the sender's send-SFD and receiver's receive-SFD coincide).
+TransmissionEvent = tuple[PacketId, int]
+
+
+@dataclass
+class MessageTracingConfig:
+    """Knobs (kept for interface symmetry; the method is parameter-free)."""
+
+    #: restrict ordering to packets present in the received trace.
+    received_only: bool = True
+
+
+class MessageTracingReconstructor:
+    """Builds the causal DAG from node logs and topologically sorts it."""
+
+    def __init__(self, config: MessageTracingConfig | None = None) -> None:
+        self.config = config or MessageTracingConfig()
+
+    def global_transmission_order(
+        self, trace: TraceBundle
+    ) -> list[TransmissionEvent]:
+        """MessageTracing's reconstructed global order of transmissions.
+
+        Returns one event per (packet, hop >= 1) for received packets:
+        the packet's arrival at that hop. Events are ordered by a
+        deterministic Kahn topological sort of the causal DAG; ties are
+        broken by (node id, log position) — information the method
+        actually has, never by global time (which it lacks).
+        """
+        received_ids = (
+            {p.packet_id for p in trace.received}
+            if self.config.received_only
+            else None
+        )
+
+        # Vertices: (node, log_position). Build edges.
+        successors: dict[tuple, list] = defaultdict(list)
+        indegree: dict[tuple, int] = defaultdict(int)
+        vertices: list[tuple] = []
+        entry_of: dict[tuple, NodeLogEntry] = {}
+
+        send_at: dict[tuple[int, PacketId], tuple] = {}
+        recv_at: dict[tuple[int, PacketId], tuple] = {}
+
+        for node, log in trace.node_logs.items():
+            previous = None
+            for position, entry in enumerate(log):
+                if received_ids is not None and entry.packet_id not in received_ids:
+                    continue
+                vertex = (node, position)
+                vertices.append(vertex)
+                entry_of[vertex] = entry
+                indegree.setdefault(vertex, 0)
+                if previous is not None:
+                    successors[previous].append(vertex)
+                    indegree[vertex] += 1
+                previous = vertex
+                if entry.kind == "send":
+                    send_at[(node, entry.packet_id)] = vertex
+                elif entry.kind == "recv":
+                    recv_at[(node, entry.packet_id)] = vertex
+
+        # Causal edges along each packet's path: the send logged at
+        # path[i] happens-before the receive logged at path[i+1].
+        for packet in trace.received:
+            pid = packet.packet_id
+            for a, b in zip(packet.path, packet.path[1:]):
+                sender = send_at.get((a, pid))
+                receiver = recv_at.get((b, pid))
+                if sender is not None and receiver is not None:
+                    successors[sender].append(receiver)
+                    indegree[receiver] += 1
+
+        # Deterministic Kahn. The tie-break uses the packet's position in
+        # the *sink's own log* — information MessageTracing legitimately
+        # has offline: every packet's causal chain terminates at the sink,
+        # whose local log totally orders the arrivals. Events of packets
+        # that reach the sink earlier are emitted earlier; global time is
+        # never consulted.
+        sink_position: dict[PacketId, int] = {}
+        for rank, entry in enumerate(trace.node_logs.get(trace.sink, [])):
+            if entry.kind == "recv" and entry.packet_id not in sink_position:
+                sink_position[entry.packet_id] = rank
+        last_rank = len(sink_position) + 1
+
+        def priority(vertex: tuple) -> tuple:
+            entry = entry_of[vertex]
+            return (
+                sink_position.get(entry.packet_id, last_rank),
+                vertex[1],
+                vertex[0],
+            )
+
+        ready = [(priority(v), v) for v in vertices if indegree[v] == 0]
+        heapq.heapify(ready)
+        order: list[tuple] = []
+        while ready:
+            _, vertex = heapq.heappop(ready)
+            order.append(vertex)
+            for successor in successors.get(vertex, ()):
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    heapq.heappush(ready, (priority(successor), successor))
+        if len(order) != len(vertices):
+            # Lost acks make a sender's (single) send-log entry postdate
+            # the receiver's first delivery, which can knot the DAG. Emit
+            # the knotted remainder in priority order — a graceful
+            # degradation of the reconstruction, counted for diagnostics.
+            remainder = sorted(
+                (v for v in vertices if indegree[v] > 0), key=priority
+            )
+            self.cycle_vertices = len(remainder)
+            order.extend(remainder)
+        else:
+            self.cycle_vertices = 0
+
+        # Project onto transmission events: the receive entries, numbered
+        # per packet (k-th receive = arrival at hop k+1).
+        events: list[TransmissionEvent] = []
+        seen: dict[PacketId, int] = defaultdict(int)
+        for vertex in order:
+            entry = entry_of[vertex]
+            if entry.kind == "recv":
+                seen[entry.packet_id] += 1
+                events.append((entry.packet_id, seen[entry.packet_id]))
+        return events
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def true_transmission_order(trace: TraceBundle) -> list[TransmissionEvent]:
+        """Ground-truth global order of the same events."""
+        events: list[tuple[float, PacketId, int]] = []
+        for packet in trace.received:
+            truth = trace.truth_of(packet.packet_id)
+            for hop in range(1, len(truth.path)):
+                events.append(
+                    (truth.arrival_times_ms[hop], packet.packet_id, hop)
+                )
+        events.sort()
+        return [(pid, hop) for _, pid, hop in events]
+
+    @staticmethod
+    def order_from_arrival_times(
+        arrival_times: dict[PacketId, list[float]],
+    ) -> list[TransmissionEvent]:
+        """Transmission order implied by (e.g. Domo-) estimated times."""
+        events: list[tuple[float, PacketId, int]] = []
+        for packet_id, times in arrival_times.items():
+            for hop in range(1, len(times)):
+                events.append((times[hop], packet_id, hop))
+        events.sort()
+        return [(pid, hop) for _, pid, hop in events]

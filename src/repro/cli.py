@@ -1,0 +1,168 @@
+"""Command-line entry point: ``domo`` — simulate, reconstruct, compare.
+
+Subcommands::
+
+    domo simulate  --nodes 100 --duration 120 --seed 1
+        Run a collection-network simulation and print trace statistics.
+    domo estimate  --nodes 100 --seed 1
+        Simulate, run Domo's estimated-value reconstruction, report error.
+    domo compare   --nodes 100 --seed 1
+        The Fig. 6 comparison: Domo vs MNT vs MessageTracing.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    evaluate_accuracy,
+    evaluate_bounds,
+    evaluate_displacement,
+)
+from repro.analysis.scenarios import paper_scenario
+from repro.analysis.tables import format_stats_table
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+from repro.sim import simulate_network
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=100)
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds")
+    parser.add_argument("--period", type=float, default=8.0,
+                        help="per-node generation period, seconds")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace", type=str, default=None,
+                        help="load a saved trace instead of simulating")
+    parser.add_argument("--save-trace", type=str, default=None,
+                        help="save the (simulated) trace to this path")
+
+
+def _scenario(args):
+    return paper_scenario(
+        num_nodes=args.nodes,
+        seed=args.seed,
+        duration_ms=args.duration * 1000.0,
+        packet_period_ms=args.period * 1000.0,
+    )
+
+
+def _obtain_trace(args):
+    """Load the trace from disk or simulate it, honoring --save-trace."""
+    from repro.sim.io import load_trace, save_trace
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        trace = simulate_network(_scenario(args))
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+    return trace
+
+
+def _cmd_simulate(args) -> int:
+    trace = _obtain_trace(args)
+    delays = []
+    hops = []
+    for p in trace.received:
+        truth = trace.truth_of(p.packet_id)
+        delays.extend(truth.node_delays())
+        hops.append(p.path_length - 1)
+    print(f"received packets : {trace.num_received}")
+    print(f"lost packets     : {len(trace.lost_packets)}")
+    print(f"delivery ratio   : {trace.delivery_ratio:.3f}")
+    print(f"mean path length : {np.mean(hops):.2f} hops")
+    print(f"mean node delay  : {np.mean(delays):.2f} ms")
+    print(f"p95 node delay   : {np.percentile(delays, 95):.2f} ms")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    trace = _obtain_trace(args)
+    domo = DomoReconstructor(DomoConfig())
+    estimate = domo.estimate(trace)
+    errors = []
+    for p in trace.received:
+        truth = trace.truth_of(p.packet_id).node_delays()
+        errors.extend(
+            abs(a - b) for a, b in zip(estimate.delays_of(p.packet_id), truth)
+        )
+    print(f"reconstructed delays : {len(errors)}")
+    print(f"mean error           : {np.mean(errors):.3f} ms")
+    print(f"fraction < 4 ms      : {np.mean(np.asarray(errors) < 4):.2f}")
+    print(f"time per delay       : {estimate.time_per_delay_ms:.2f} ms")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = _obtain_trace(args)
+    accuracy = evaluate_accuracy(trace)
+    print(format_stats_table(
+        [("Domo", accuracy.domo), ("MNT", accuracy.mnt)],
+        value_label="estimation error (ms)",
+        thresholds=(4.0,),
+    ))
+    bounds = evaluate_bounds(trace, max_packets=args.bound_packets)
+    print()
+    print(format_stats_table(
+        [("Domo", bounds.domo), ("MNT", bounds.mnt)],
+        value_label="delay bound width (ms)",
+    ))
+    displacement = evaluate_displacement(trace)
+    print()
+    print(format_stats_table(
+        [
+            ("Domo", displacement.domo),
+            ("MessageTracing", displacement.message_tracing),
+        ],
+        value_label="event displacement",
+    ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    trace = _obtain_trace(args)
+    print(generate_report(trace))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="domo",
+        description="Domo delay tomography (ICDCS'14) reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate", help="run the simulator")
+    _add_scenario_arguments(simulate)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    estimate = commands.add_parser("estimate", help="Domo estimation demo")
+    _add_scenario_arguments(estimate)
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    compare = commands.add_parser("compare", help="Domo vs MNT vs MsgTracing")
+    _add_scenario_arguments(compare)
+    compare.add_argument("--bound-packets", type=int, default=100,
+                         help="packets whose bounds are LP-solved")
+    compare.set_defaults(handler=_cmd_compare)
+
+    report = commands.add_parser(
+        "report", help="operator-style diagnostic report"
+    )
+    _add_scenario_arguments(report)
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

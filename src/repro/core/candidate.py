@@ -1,0 +1,93 @@
+"""Candidate sets for the sum-of-delays constraints (paper §IV.A).
+
+For a packet ``p`` whose source attached the 2-byte sum ``S(p)``:
+
+* ``C(p)`` — packets whose delay at ``N_0(p)`` *may* be covered by
+  ``S(p)``: they pass through ``N_0(p)``, were generated before ``p``, and
+  reached the sink after ``q`` (p's previous local packet) was generated.
+  Under zero loss, ``S(p) <= D(p) + sum over C(p)`` (Eq. (6)).
+* ``C*(p) ⊆ C(p)`` — packets *guaranteed* covered: generated at or after
+  ``t_0(q)`` and delivered by ``t_0(p)``. FIFO at the source then forces
+  their departure into the accumulator window, so
+  ``S(p) >= D(p) + sum over C*(p)`` (Eq. (7)) holds even under loss.
+
+Both sets exclude ``p`` itself (its delay is the explicit ``D`` term) and
+``q`` (whose delay was flushed into ``S(q)`` when the accumulator reset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.records import TraceIndex
+from repro.sim.packet import PacketId
+from repro.sim.trace import ReceivedPacket
+
+
+@dataclass
+class CandidateSets:
+    """C(p) and C*(p) for one packet, plus the anchoring context."""
+
+    packet: ReceivedPacket
+    previous_local: ReceivedPacket
+    #: (candidate packet, hop at which it visits the source of ``packet``)
+    possible: list[tuple[ReceivedPacket, int]] = field(default_factory=list)
+    guaranteed: list[tuple[ReceivedPacket, int]] = field(default_factory=list)
+    #: True when no local packet was lost between ``previous_local`` and
+    #: ``packet`` — only then is the (7) anchor sound.
+    anchored: bool = True
+
+    def __post_init__(self) -> None:
+        possible_ids = {x.packet_id for x, _ in self.possible}
+        for x, _ in self.guaranteed:
+            if x.packet_id not in possible_ids:
+                raise ValueError("C*(p) must be a subset of C(p)")
+
+
+def compute_candidate_sets(
+    index: TraceIndex, packet: ReceivedPacket
+) -> CandidateSets | None:
+    """Compute C(p) / C*(p) for ``packet``, or None when unanchorable.
+
+    Returns None when ``packet`` is the first received packet of its
+    source (no previous local packet to delimit the accumulator window).
+    """
+    previous = index.previous_local_packet(packet)
+    if previous is None:
+        return None
+    source = packet.packet_id.source
+    t0_p = packet.generation_time_ms
+    t0_q = previous.generation_time_ms
+    excluded: set[PacketId] = {packet.packet_id, previous.packet_id}
+
+    possible: list[tuple[ReceivedPacket, int]] = []
+    guaranteed: list[tuple[ReceivedPacket, int]] = []
+    for candidate, hop in index.node_visits.get(source, []):
+        if candidate.packet_id in excluded:
+            continue
+        # Other local packets of the source reset the accumulator when
+        # they depart, so their delays are never part of S(p). (With no
+        # seqno gap there are none between q and p anyway; earlier/later
+        # ones fail the time conditions, but be explicit.)
+        if candidate.packet_id.source == source:
+            continue
+        # Condition 2: generated before p.
+        if candidate.generation_time_ms >= t0_p:
+            continue
+        # Condition 3: delivered after q was generated.
+        if candidate.sink_arrival_ms <= t0_q:
+            continue
+        possible.append((candidate, hop))
+        if (
+            candidate.generation_time_ms >= t0_q
+            and candidate.sink_arrival_ms <= t0_p
+        ):
+            guaranteed.append((candidate, hop))
+
+    return CandidateSets(
+        packet=packet,
+        previous_local=previous,
+        possible=possible,
+        guaranteed=guaranteed,
+        anchored=not index.has_seqno_gap(previous, packet),
+    )

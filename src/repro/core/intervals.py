@@ -1,0 +1,72 @@
+"""Interval arithmetic over arrival times: trivial bounds and propagation.
+
+Both Domo's FIFO-direction resolution and the MNT baseline reason with
+per-arrival-time intervals ``[lo, hi]``. This module provides the shared
+machinery: initial trivial intervals from :class:`TraceIndex` and the
+monotonicity propagation pass (arrival times along one packet's path are
+separated by at least omega, so bounds push forward and backward).
+"""
+
+from __future__ import annotations
+
+from repro.core.records import ArrivalKey, TraceIndex
+
+Interval = tuple[float, float]
+
+
+def trivial_intervals(index: TraceIndex) -> dict[ArrivalKey, Interval]:
+    """Order-constraint intervals for every arrival time in the trace."""
+    intervals: dict[ArrivalKey, Interval] = {}
+    for packet in index.packets:
+        for key in index.keys_of(packet):
+            intervals[key] = index.trivial_interval(key)
+    return intervals
+
+
+def propagate_path_monotonicity(
+    index: TraceIndex, intervals: dict[ArrivalKey, Interval]
+) -> int:
+    """Tighten intervals along each packet's path in place.
+
+    Enforces ``lo(t_{i+1}) >= lo(t_i) + omega`` (forward sweep) and
+    ``hi(t_i) <= hi(t_{i+1}) - omega`` (backward sweep). Returns how many
+    interval endpoints were tightened.
+    """
+    omega = index.omega_ms
+    tightened = 0
+    for packet in index.packets:
+        keys = index.keys_of(packet)
+        for prev_key, key in zip(keys, keys[1:]):
+            lo_prev, _ = intervals[prev_key]
+            lo, hi = intervals[key]
+            if lo_prev + omega > lo:
+                intervals[key] = (lo_prev + omega, hi)
+                tightened += 1
+        for key, next_key in zip(reversed(keys[:-1]), reversed(keys)):
+            _, hi_next = intervals[next_key]
+            lo, hi = intervals[key]
+            if hi_next - omega < hi:
+                intervals[key] = (lo, hi_next - omega)
+                tightened += 1
+    return tightened
+
+
+def clip_to_valid(intervals: dict[ArrivalKey, Interval]) -> list[ArrivalKey]:
+    """Repair any inverted intervals (lo > hi) by collapsing to midpoint.
+
+    Inversions indicate inconsistent tightening (e.g. a wrong FIFO
+    resolution under heavy quantization); collapsing keeps downstream
+    solvers well-posed. Returns the repaired keys for diagnostics.
+    """
+    repaired = []
+    for key, (lo, hi) in intervals.items():
+        if lo > hi:
+            mid = 0.5 * (lo + hi)
+            intervals[key] = (mid, mid)
+            repaired.append(key)
+    return repaired
+
+
+def width(interval: Interval) -> float:
+    """Convenience: ``hi - lo``."""
+    return interval[1] - interval[0]

@@ -1,0 +1,117 @@
+"""Accuracy metrics of §VI.A: estimation error, bound width, displacement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ErrorStats:
+    """Summary of a collection of absolute errors (or widths)."""
+
+    values: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values.size else float("nan")
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.values)) if self.values.size else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.values, q)) if self.values.size else float("nan")
+
+    def fraction_below(self, threshold: float) -> float:
+        """CDF value at ``threshold`` (paper: '>70% of errors < 4ms')."""
+        if not self.values.size:
+            return float("nan")
+        return float(np.mean(self.values < threshold))
+
+    def cdf(self, points: int = 50) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        if not self.values.size:
+            return []
+        ordered = np.sort(self.values)
+        fractions = np.arange(1, ordered.size + 1) / ordered.size
+        if ordered.size <= points:
+            return list(zip(ordered.tolist(), fractions.tolist()))
+        idx = np.linspace(0, ordered.size - 1, points).astype(int)
+        return list(zip(ordered[idx].tolist(), fractions[idx].tolist()))
+
+
+def estimation_error_stats(delay_errors: Sequence[float]) -> ErrorStats:
+    """Wrap per-hop delay estimation errors (absolute values taken)."""
+    return ErrorStats(np.abs(np.asarray(list(delay_errors), dtype=float)))
+
+
+def bound_width_stats(widths: Sequence[float]) -> ErrorStats:
+    """Wrap per-hop delay bound widths (upper - lower distances)."""
+    return ErrorStats(np.asarray(list(widths), dtype=float))
+
+
+def average_displacement(
+    reconstructed: Sequence[Hashable], truth: Sequence[Hashable]
+) -> float:
+    """The paper's displacement metric for event sequences (§VI.A).
+
+    Both sequences must contain the same elements; the result is the mean
+    absolute difference of each element's positions. The paper's example:
+    truth (a,b,c,d,e) vs (b,a,e,d,c) gives (1+1+2+0+2)/5 = 1.2.
+    """
+    if len(reconstructed) != len(truth):
+        raise ValueError(
+            f"sequences differ in length: {len(reconstructed)} vs {len(truth)}"
+        )
+    position: dict[Hashable, int] = {}
+    for i, item in enumerate(reconstructed):
+        if item in position:
+            raise ValueError(f"duplicate element {item!r} in reconstruction")
+        position[item] = i
+    total = 0
+    for i, item in enumerate(truth):
+        if item not in position:
+            raise ValueError(f"element {item!r} missing from reconstruction")
+        total += abs(position[item] - i)
+    return total / len(truth) if truth else 0.0
+
+
+def element_displacements(
+    reconstructed: Sequence[Hashable], truth: Sequence[Hashable]
+) -> np.ndarray:
+    """Per-element |position difference| (the CDFs of Fig. 6(c)-8(c)).
+
+    :func:`average_displacement` is the mean of this array.
+    """
+    if len(reconstructed) != len(truth):
+        raise ValueError(
+            f"sequences differ in length: {len(reconstructed)} vs {len(truth)}"
+        )
+    position = {item: i for i, item in enumerate(reconstructed)}
+    if len(position) != len(reconstructed):
+        raise ValueError("duplicate elements in reconstruction")
+    return np.array(
+        [abs(position[item] - i) for i, item in enumerate(truth)], dtype=float
+    )
+
+
+def displacement_per_node(
+    reconstructed_by_node: dict[int, Sequence[Hashable]],
+    truth_by_node: dict[int, Sequence[Hashable]],
+) -> ErrorStats:
+    """Displacement evaluated per node, pooled (used by Fig. 6(c)-8(c))."""
+    values = []
+    for node, truth in truth_by_node.items():
+        if len(truth) < 2:
+            continue
+        values.append(
+            average_displacement(reconstructed_by_node[node], truth)
+        )
+    return ErrorStats(np.asarray(values, dtype=float))

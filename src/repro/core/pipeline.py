@@ -1,0 +1,268 @@
+"""The public Domo API: :class:`DomoReconstructor`.
+
+Typical use::
+
+    from repro import DomoConfig, DomoReconstructor, simulate_network
+
+    trace = simulate_network(num_nodes=100, seed=1)
+    domo = DomoReconstructor(DomoConfig())
+    estimate = domo.estimate(trace.received)     # per-hop arrival times
+    bounds = domo.bounds(trace.received)         # per-hop bound intervals
+
+Both entry points accept the plain list of
+:class:`~repro.sim.trace.ReceivedPacket` records — the four quantities the
+sink actually has (path, t0, sink arrival, S(p)) — and never touch ground
+truth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.bounds import BoundComputer, BoundResult, BoundsConfig
+from repro.core.constraints import ConstraintConfig, build_constraints
+from repro.core.estimator import EstimatorConfig, estimate_arrival_times
+from repro.core.preprocessor import build_window_systems, choose_window_span
+from repro.core.records import ArrivalKey, TraceIndex
+from repro.core.sdr import SdrConfig, solve_window_sdr
+from repro.optim.result import SolverError
+from repro.sim.packet import PacketId
+from repro.sim.trace import ReceivedPacket, TraceBundle
+
+FIFO_MODES = ("linearized", "sdr", "none")
+
+
+@dataclass
+class DomoConfig:
+    """All tuning knobs of the reconstruction, with the paper's defaults."""
+
+    #: minimum software processing delay per hop (omega), ms.
+    omega_ms: float = 1.0
+    #: Eq. (8) pairing horizon (epsilon), ms.
+    epsilon_ms: float = 1000.0
+    #: paper §IV.B: fraction of each window whose estimates are kept.
+    effective_window_ratio: float = 0.5
+    #: windows are sized to hold roughly this many packets.
+    target_window_packets: int = 60
+    #: explicit window span override (ms); None = auto from density.
+    window_span_ms: float | None = None
+    #: "linearized" (resolved pairs, default), "sdr" (full Eq. (2)-(4)
+    #: lift) or "none" (drop FIFO constraints; ablation).
+    fifo_mode: str = "linearized"
+    #: paper §IV.C: vertices per extracted sub-graph.
+    graph_cut_size: int = 10_000
+    use_blp: bool = True
+    constraints: ConstraintConfig = field(default_factory=ConstraintConfig)
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    sdr: SdrConfig = field(default_factory=SdrConfig)
+
+    def __post_init__(self) -> None:
+        if self.fifo_mode not in FIFO_MODES:
+            raise ValueError(
+                f"fifo_mode {self.fifo_mode!r} not in {FIFO_MODES}"
+            )
+        self.constraints.omega_ms = self.omega_ms
+        self.estimator.epsilon_ms = self.epsilon_ms
+        self.sdr.estimator = self.estimator
+
+
+@dataclass
+class DelayReconstruction:
+    """Estimated per-hop arrival times for a set of packets."""
+
+    #: full arrival-time vectors (index = hop), knowns included.
+    arrival_times: dict[PacketId, list[float]]
+    #: raw interior estimates by key.
+    estimates: dict[ArrivalKey, float]
+    windows_used: int = 0
+    solve_time_s: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    def delays_of(self, packet_id: PacketId) -> list[float]:
+        """Reconstructed per-hop node delays of one packet."""
+        times = self.arrival_times[packet_id]
+        return [b - a for a, b in zip(times, times[1:])]
+
+    @property
+    def num_estimated(self) -> int:
+        return len(self.estimates)
+
+    @property
+    def time_per_delay_ms(self) -> float:
+        """PC-side execution time per reconstructed delay (paper Fig. 9b)."""
+        if not self.estimates:
+            return 0.0
+        return 1000.0 * self.solve_time_s / len(self.estimates)
+
+
+@dataclass
+class BoundReconstruction:
+    """Arrival-time bounds plus helpers to read per-hop delay bounds."""
+
+    bounds: dict[ArrivalKey, BoundResult]
+    index: TraceIndex
+    solve_time_s: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    def arrival_bounds(self, packet_id: PacketId) -> list[tuple[float, float]]:
+        """(lower, upper) for every hop of a packet (knowns are points)."""
+        packet = self.index.by_id[packet_id]
+        result = []
+        for hop in range(packet.path_length):
+            key = ArrivalKey(packet_id, hop)
+            if key in self.bounds:
+                entry = self.bounds[key]
+                result.append((entry.lower, entry.upper))
+            else:
+                value = self.index.known_value(key)
+                result.append((value, value))
+        return result
+
+    def delay_bounds(self, packet_id: PacketId) -> list[tuple[float, float]]:
+        """Per-hop delay intervals: D_i in [lo_{i+1}-hi_i, hi_{i+1}-lo_i]."""
+        arrivals = self.arrival_bounds(packet_id)
+        return [
+            (later[0] - earlier[1], later[1] - earlier[0])
+            for earlier, later in zip(arrivals, arrivals[1:])
+        ]
+
+    def delay_widths(self) -> list[float]:
+        """All per-hop delay bound widths (the paper's bound accuracy)."""
+        widths = []
+        for packet in self.index.packets:
+            for lo, hi in self.delay_bounds(packet.packet_id):
+                widths.append(hi - lo)
+        return widths
+
+    @property
+    def time_per_bound_ms(self) -> float:
+        """PC-side execution time per bound (paper Fig. 10b)."""
+        if not self.bounds:
+            return 0.0
+        return 1000.0 * self.solve_time_s / len(self.bounds)
+
+
+class DomoReconstructor:
+    """End-to-end PC-side reconstruction (estimates and bounds)."""
+
+    def __init__(self, config: DomoConfig | None = None) -> None:
+        self.config = config or DomoConfig()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_packets(trace) -> list[ReceivedPacket]:
+        if isinstance(trace, TraceBundle):
+            return list(trace.received)
+        return list(trace)
+
+    def _constraint_config(self) -> ConstraintConfig:
+        cfg = self.config.constraints
+        if self.config.fifo_mode == "none":
+            # Ablation: suppress pair resolution entirely by giving the
+            # enumerator an empty horizon.
+            return replace(cfg, fifo_horizon_ms=0.0)
+        return cfg
+
+    # ------------------------------------------------------------------
+
+    def estimate(self, trace) -> DelayReconstruction:
+        """Estimated arrival times via windowed Eq. (8) optimization."""
+        packets = self._as_packets(trace)
+        config = self.config
+        span = config.window_span_ms or choose_window_span(
+            packets, config.target_window_packets
+        )
+        started = time.perf_counter()
+        systems = build_window_systems(
+            packets,
+            self._constraint_config(),
+            window_span_ms=span,
+            effective_ratio=config.effective_window_ratio,
+        )
+        estimates: dict[ArrivalKey, float] = {}
+        stats = {"sdr_windows": 0, "linearized_windows": 0, "failed_windows": 0}
+        for ws in systems:
+            try:
+                window_estimates = self._solve_window(ws.system, stats)
+            except SolverError:
+                stats["failed_windows"] += 1
+                window_estimates = {
+                    key: 0.5 * (lo + hi)
+                    for key, (lo, hi) in ws.system.intervals.items()
+                    if key in ws.system.variables
+                }
+            for key, value in window_estimates.items():
+                if key.packet_id in ws.kept_ids:
+                    estimates[key] = value
+        elapsed = time.perf_counter() - started
+
+        # Assemble full arrival vectors (fall back to interval midpoints
+        # for any unknown not covered by a kept window region).
+        full_index = TraceIndex(packets, omega_ms=config.omega_ms)
+        arrival_times: dict[PacketId, list[float]] = {}
+        for packet in full_index.packets:
+            times = []
+            for key in full_index.keys_of(packet):
+                if full_index.is_known(key):
+                    times.append(full_index.known_value(key))
+                elif key in estimates:
+                    times.append(estimates[key])
+                else:
+                    lo, hi = full_index.trivial_interval(key)
+                    times.append(0.5 * (lo + hi))
+            arrival_times[packet.packet_id] = times
+        return DelayReconstruction(
+            arrival_times=arrival_times,
+            estimates=estimates,
+            windows_used=len(systems),
+            solve_time_s=elapsed,
+            stats=stats,
+        )
+
+    def _solve_window(self, system, stats) -> dict[ArrivalKey, float]:
+        if (
+            self.config.fifo_mode == "sdr"
+            and 0 < system.num_unknowns <= self.config.sdr.max_unknowns
+        ):
+            stats["sdr_windows"] += 1
+            return solve_window_sdr(system, self.config.sdr)
+        stats["linearized_windows"] += 1
+        return estimate_arrival_times(system, self.config.estimator)
+
+    # ------------------------------------------------------------------
+
+    def bounds(
+        self,
+        trace,
+        packet_ids: list[PacketId] | None = None,
+    ) -> BoundReconstruction:
+        """Lower/upper bounds via per-target sub-graph LPs (§IV.C)."""
+        packets = self._as_packets(trace)
+        config = self.config
+        index = TraceIndex(packets, omega_ms=config.omega_ms)
+        system = build_constraints(index, self._constraint_config())
+        computer = BoundComputer(
+            system,
+            BoundsConfig(
+                graph_cut_size=config.graph_cut_size,
+                use_blp=config.use_blp,
+            ),
+        )
+        started = time.perf_counter()
+        if packet_ids is not None:
+            wanted_ids = set(packet_ids)
+            keys = [
+                key for key in system.variables if key.packet_id in wanted_ids
+            ]
+        else:
+            keys = None
+        results: dict[ArrivalKey, BoundResult] = computer.bounds_for_all(keys)
+        elapsed = time.perf_counter() - started
+        return BoundReconstruction(
+            bounds=results,
+            index=index,
+            solve_time_s=elapsed,
+            stats={**system.stats, **computer.stats},
+        )

@@ -1,0 +1,106 @@
+"""Trace preprocessing: raw sink trace -> per-window constraint systems.
+
+This is the reproduction of the paper's PC-side "data preprocessor"
+(§V — theirs was Perl): it partitions the received packets into the
+overlapping time windows of §IV.B and assembles one
+:class:`~repro.core.constraints.ConstraintSystem` per window, ready for
+the estimation or SDR optimizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constraints import (
+    ConstraintConfig,
+    ConstraintSystem,
+    build_constraints,
+)
+from repro.core.records import TraceIndex
+from repro.core.windows import TimeWindow, plan_windows
+from repro.sim.packet import PacketId
+from repro.sim.trace import ReceivedPacket
+
+
+@dataclass
+class WindowSystem:
+    """One window's packets, constraints and the ids whose estimates count."""
+
+    window: TimeWindow
+    index: TraceIndex
+    system: ConstraintSystem
+    kept_ids: set[PacketId]
+
+
+def choose_window_span(
+    packets: list[ReceivedPacket],
+    target_window_packets: int,
+    minimum_span_ms: float = 1_000.0,
+    periods_per_window: float = 3.0,
+) -> float:
+    """A window span that balances solver size against constraint richness.
+
+    Two requirements pull in opposite directions: windows should hold only
+    about ``target_window_packets`` packets (QP size), but they must span
+    several per-source generation periods — otherwise a packet's previous
+    local packet falls outside the window and the sum-of-delays
+    constraints (the strongest anchors Domo has) cannot be built.
+    """
+    if not packets:
+        return minimum_span_ms
+    t0s = [p.generation_time_ms for p in packets]
+    duration = max(t0s) - min(t0s)
+    if duration <= 0.0 or len(packets) <= target_window_packets:
+        return max(minimum_span_ms, duration + 1.0)
+    density = len(packets) / duration  # packets per ms
+    span = target_window_packets / density
+
+    gaps: list[float] = []
+    by_source: dict[int, list[float]] = {}
+    for p in packets:
+        by_source.setdefault(p.packet_id.source, []).append(
+            p.generation_time_ms
+        )
+    for times in by_source.values():
+        times.sort()
+        gaps.extend(b - a for a, b in zip(times, times[1:]))
+    if gaps:
+        span = max(span, periods_per_window * float(np.median(gaps)))
+    return min(max(minimum_span_ms, span), duration + 1.0)
+
+
+def build_window_systems(
+    packets: list[ReceivedPacket],
+    constraint_config: ConstraintConfig,
+    window_span_ms: float,
+    effective_ratio: float = 0.5,
+) -> list[WindowSystem]:
+    """Partition packets into overlapping windows and build each system.
+
+    Windows with no packets are skipped; each packet's estimate is *kept*
+    from exactly one window (the one whose keep region covers its t0).
+    """
+    if not packets:
+        return []
+    t0s = [p.generation_time_ms for p in packets]
+    windows = plan_windows(t0s, window_span_ms, effective_ratio)
+    systems: list[WindowSystem] = []
+    for window in windows:
+        members = [p for p in packets if window.contains(p.generation_time_ms)]
+        if not members:
+            continue
+        kept = {
+            p.packet_id
+            for p in members
+            if window.keeps(p.generation_time_ms)
+        }
+        if not kept:
+            continue
+        index = TraceIndex(members, omega_ms=constraint_config.omega_ms)
+        system = build_constraints(index, constraint_config)
+        systems.append(
+            WindowSystem(window=window, index=index, system=system, kept_ids=kept)
+        )
+    return systems

@@ -1,0 +1,148 @@
+"""Indexing of arrival-time variables over a received trace.
+
+For a packet ``p`` with path length ``|p|`` the sink knows ``t_0(p)``
+(generation) and ``t_{|p|-1}(p)`` (sink arrival); the interior arrival
+times are the unknowns Domo reconstructs. :class:`TraceIndex` classifies
+every ``(packet, hop)`` pair and provides the *trivial interval* each
+arrival time must lie in given only the order constraint (Eq. (5)):
+
+    t_0(p) + i*omega  <=  t_i(p)  <=  t_sink(p) - (|p|-1-i)*omega
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sim.packet import PacketId
+from repro.sim.trace import ReceivedPacket
+
+
+@dataclass(frozen=True, order=True)
+class ArrivalKey:
+    """Identity of one arrival-time quantity: packet ``p`` at hop ``i``."""
+
+    packet_id: PacketId
+    hop: int
+
+    def __str__(self) -> str:
+        return f"t[{self.packet_id}@{self.hop}]"
+
+
+class TraceIndex:
+    """Lookup structure over the received packets of one reconstruction.
+
+    Args:
+        packets: the received packets to reconstruct (the whole trace or
+            one time window).
+        omega_ms: the paper's minimum software processing delay per hop.
+    """
+
+    def __init__(self, packets: list[ReceivedPacket], omega_ms: float = 1.0):
+        if omega_ms < 0:
+            raise ValueError("omega must be nonnegative")
+        self.omega_ms = omega_ms
+        self.packets = sorted(
+            packets,
+            key=lambda p: (p.generation_time_ms, p.packet_id.source,
+                           p.packet_id.seqno),
+        )
+        self.by_id: dict[PacketId, ReceivedPacket] = {
+            p.packet_id: p for p in self.packets
+        }
+        if len(self.by_id) != len(self.packets):
+            raise ValueError("duplicate packet ids in trace")
+        #: node -> [(packet, hop at which the packet visits the node)]
+        self.node_visits: dict[int, list[tuple[ReceivedPacket, int]]] = {}
+        for packet in self.packets:
+            for hop, node in enumerate(packet.path[:-1]):
+                self.node_visits.setdefault(node, []).append((packet, hop))
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    def is_known(self, key: ArrivalKey) -> bool:
+        """Whether the sink directly knows this arrival time."""
+        packet = self.by_id[key.packet_id]
+        return key.hop == 0 or key.hop == packet.path_length - 1
+
+    def known_value(self, key: ArrivalKey) -> float:
+        """The value of a known arrival time (KeyError-style errors)."""
+        packet = self.by_id[key.packet_id]
+        if key.hop == 0:
+            return packet.generation_time_ms
+        if key.hop == packet.path_length - 1:
+            return packet.sink_arrival_ms
+        raise ValueError(f"{key} is unknown")
+
+    def unknown_keys(self) -> Iterator[ArrivalKey]:
+        """All interior arrival times, in deterministic order."""
+        for packet in self.packets:
+            for hop in range(1, packet.path_length - 1):
+                yield ArrivalKey(packet.packet_id, hop)
+
+    def keys_of(self, packet: ReceivedPacket) -> list[ArrivalKey]:
+        """All arrival-time keys of one packet (known and unknown)."""
+        return [
+            ArrivalKey(packet.packet_id, hop)
+            for hop in range(packet.path_length)
+        ]
+
+    # ------------------------------------------------------------------
+    # Trivial intervals
+    # ------------------------------------------------------------------
+
+    def trivial_interval(self, key: ArrivalKey) -> tuple[float, float]:
+        """The order-constraint interval of an arrival time (Eq. (5))."""
+        packet = self.by_id[key.packet_id]
+        if not 0 <= key.hop < packet.path_length:
+            raise ValueError(f"hop {key.hop} outside path of {packet.packet_id}")
+        low = packet.generation_time_ms + key.hop * self.omega_ms
+        high = packet.sink_arrival_ms - (
+            packet.path_length - 1 - key.hop
+        ) * self.omega_ms
+        if self.is_known(key):
+            value = self.known_value(key)
+            return value, value
+        return low, high
+
+    def value_or_interval(self, key: ArrivalKey) -> tuple[float, float]:
+        """Alias of :meth:`trivial_interval` (knowns collapse to a point)."""
+        return self.trivial_interval(key)
+
+    # ------------------------------------------------------------------
+    # Per-source structure (used by candidate sets)
+    # ------------------------------------------------------------------
+
+    def local_packets_of(self, node: int) -> list[ReceivedPacket]:
+        """Received packets generated *by* ``node``, in seqno order."""
+        own = [p for p in self.packets if p.packet_id.source == node]
+        own.sort(key=lambda p: p.packet_id.seqno)
+        return own
+
+    def previous_local_packet(
+        self, packet: ReceivedPacket
+    ) -> ReceivedPacket | None:
+        """The previous *received* local packet from the same source.
+
+        Returns None when ``packet`` is its source's first received packet.
+        The caller must check :meth:`has_seqno_gap` before trusting
+        sum-of-delays constraints built on this pair.
+        """
+        own = self.local_packets_of(packet.packet_id.source)
+        index = next(
+            i for i, p in enumerate(own) if p.packet_id == packet.packet_id
+        )
+        return own[index - 1] if index > 0 else None
+
+    def has_seqno_gap(
+        self, previous: ReceivedPacket, packet: ReceivedPacket
+    ) -> bool:
+        """Whether a local packet between the two was lost.
+
+        A gap means the lost packet may have flushed the sum-of-delays
+        accumulator on the node, so Eq. (6)/(7) cannot be anchored to
+        ``previous`` soundly.
+        """
+        return packet.packet_id.seqno != previous.packet_id.seqno + 1

@@ -1,0 +1,90 @@
+"""The improved overlapping time-window scheme (paper §IV.B, Fig. 3).
+
+Solving one QP over an entire trace is too slow, so Domo splits packets
+into time windows by generation time. Estimates near a window's boundary
+are under-constrained, so consecutive windows overlap and only the middle
+*effective time window ratio* fraction of each window's solution is kept;
+the kept regions tile the timeline exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """One window: solve over [start, end), keep [keep_start, keep_end)."""
+
+    start_ms: float
+    end_ms: float
+    keep_start_ms: float
+    keep_end_ms: float
+
+    def contains(self, t0_ms: float) -> bool:
+        """Whether a packet generated at ``t0_ms`` is solved in this window."""
+        return self.start_ms <= t0_ms < self.end_ms
+
+    def keeps(self, t0_ms: float) -> bool:
+        """Whether this window's estimate for the packet is the kept one."""
+        return self.keep_start_ms <= t0_ms < self.keep_end_ms
+
+
+def plan_windows(
+    generation_times: Sequence[float],
+    window_span_ms: float,
+    effective_ratio: float = 0.5,
+) -> list[TimeWindow]:
+    """Plan overlapping windows covering all generation times.
+
+    Args:
+        generation_times: t0 of every packet to reconstruct (any order).
+        window_span_ms: width of each solve window.
+        effective_ratio: fraction of each window whose estimates are kept
+            (the paper's key parameter; it tunes 0.3-0.9 in Fig. 9).
+
+    The kept regions are the central ``effective_ratio`` of each window;
+    consecutive windows are strided by exactly that amount so kept regions
+    partition the timeline. The first/last windows keep everything down
+    to/up from their outer edge (there is no earlier/later window to do
+    better).
+    """
+    if not 0.0 < effective_ratio <= 1.0:
+        raise ValueError(f"effective ratio {effective_ratio} outside (0, 1]")
+    if window_span_ms <= 0.0:
+        raise ValueError("window span must be positive")
+    if len(generation_times) == 0:
+        return []
+    t_min = min(generation_times)
+    t_max = max(generation_times)
+
+    stride = window_span_ms * effective_ratio
+    margin = 0.5 * (window_span_ms - stride)
+    windows: list[TimeWindow] = []
+    start = t_min - margin
+    epsilon = 1e-9
+    while True:
+        keep_start = start + margin
+        keep_end = keep_start + stride
+        window = TimeWindow(
+            start_ms=start,
+            end_ms=start + window_span_ms,
+            keep_start_ms=keep_start if windows else -INF,
+            keep_end_ms=keep_end,
+        )
+        windows.append(window)
+        if keep_end > t_max + epsilon:
+            break
+        start += stride
+    # The last window keeps its whole tail.
+    last = windows[-1]
+    windows[-1] = TimeWindow(
+        start_ms=last.start_ms,
+        end_ms=last.end_ms,
+        keep_start_ms=last.keep_start_ms,
+        keep_end_ms=INF,
+    )
+    return windows

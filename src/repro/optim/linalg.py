@@ -1,0 +1,90 @@
+"""Linear-algebra helpers shared by the ADMM solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(M + M') / 2`` of a square matrix."""
+    return 0.5 * (matrix + matrix.T)
+
+
+def project_psd(matrix: np.ndarray) -> np.ndarray:
+    """Project a symmetric matrix onto the positive-semidefinite cone.
+
+    Uses the eigenvalue clipping characterization: if ``M = V diag(w) V'``
+    then the nearest PSD matrix in Frobenius norm is
+    ``V diag(max(w, 0)) V'``.
+    """
+    sym = symmetrize(np.asarray(matrix, dtype=float))
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    if eigenvalues[0] >= 0.0:
+        return sym
+    clipped = np.clip(eigenvalues, 0.0, None)
+    return (eigenvectors * clipped) @ eigenvectors.T
+
+
+def is_psd(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+    """Whether a symmetric matrix is PSD up to tolerance ``tol``."""
+    sym = symmetrize(np.asarray(matrix, dtype=float))
+    smallest = np.linalg.eigvalsh(sym)[0]
+    return bool(smallest >= -tol * max(1.0, abs(smallest)))
+
+
+def vec_symmetric(matrix: np.ndarray) -> np.ndarray:
+    """Flatten a symmetric matrix to a full ``n*n`` vector (row-major)."""
+    return np.asarray(matrix, dtype=float).reshape(-1)
+
+
+def mat_symmetric(vector: np.ndarray, dim: int) -> np.ndarray:
+    """Inverse of :func:`vec_symmetric`: reshape and symmetrize."""
+    return symmetrize(np.asarray(vector, dtype=float).reshape(dim, dim))
+
+
+class KKTFactorization:
+    """Cached factorization of the ADMM normal-equation matrix.
+
+    ADMM iterations repeatedly solve ``(P + sigma*I + rho*A'A) x = rhs``
+    with fixed ``P``, ``A`` and penalty parameters; factor once and reuse.
+    Falls back from sparse LU to a dense least-squares style solve when the
+    sparse factorization fails (e.g. a numerically singular system).
+    """
+
+    def __init__(
+        self,
+        quadratic: sp.spmatrix,
+        constraints: sp.spmatrix,
+        sigma: float,
+        rho: float,
+    ) -> None:
+        n = quadratic.shape[0]
+        system = (
+            sp.csc_matrix(quadratic)
+            + sigma * sp.identity(n, format="csc")
+            + rho * (constraints.T @ constraints)
+        )
+        self._dense_inverse: np.ndarray | None = None
+        try:
+            self._lu = spla.splu(sp.csc_matrix(system))
+        except RuntimeError:
+            self._lu = None
+            dense = system.toarray()
+            self._dense_inverse = np.linalg.pinv(dense)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve the cached system for a right-hand side."""
+        if self._lu is not None:
+            return self._lu.solve(rhs)
+        assert self._dense_inverse is not None
+        return self._dense_inverse @ rhs
+
+
+def as_csc(matrix, shape: tuple[int, int] | None = None) -> sp.csc_matrix:
+    """Coerce dense/sparse input to CSC, validating the shape if given."""
+    result = sp.csc_matrix(matrix)
+    if shape is not None and result.shape != shape:
+        raise ValueError(f"expected shape {shape}, got {result.shape}")
+    return result

@@ -1,0 +1,191 @@
+"""A small modeling layer: named variables and box-form linear constraints.
+
+All Domo constraint producers (order, sum-of-delays, FIFO) emit rows into a
+:class:`ConstraintBuilder`, which assembles the sparse system
+``l <= A x <= u`` consumed by the QP/LP/SDP solvers. Equalities are rows
+with ``l == u``; one-sided rows use ``-inf`` / ``+inf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+INF = float("inf")
+
+
+class VariableRegistry:
+    """Bidirectional mapping between hashable variable keys and indices.
+
+    Domo indexes every unknown arrival time by a ``(packet_id, hop)`` key;
+    the registry assigns each key a dense column index for the solvers.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[Hashable, int] = {}
+        self._keys: list[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._keys)
+
+    def add(self, key: Hashable) -> int:
+        """Register ``key`` (idempotent) and return its column index."""
+        index = self._index.get(key)
+        if index is None:
+            index = len(self._keys)
+            self._index[key] = index
+            self._keys.append(key)
+        return index
+
+    def index_of(self, key: Hashable) -> int:
+        """Column index of an already-registered key."""
+        return self._index[key]
+
+    def get(self, key: Hashable) -> int | None:
+        """Column index of ``key``, or ``None`` if unregistered."""
+        return self._index.get(key)
+
+    def key_of(self, index: int) -> Hashable:
+        """Key registered at a column index."""
+        return self._keys[index]
+
+    def keys(self) -> list[Hashable]:
+        """All keys in column order (copy)."""
+        return list(self._keys)
+
+
+@dataclass(frozen=True)
+class ConstraintRow:
+    """One row ``lower <= sum(coeff * x[idx]) <= upper`` with a provenance tag."""
+
+    indices: tuple[int, ...]
+    coefficients: tuple[float, ...]
+    lower: float
+    upper: float
+    tag: str = ""
+
+    def evaluate(self, x: np.ndarray) -> float:
+        """Value of the row's linear form at ``x``."""
+        return float(sum(c * x[i] for i, c in zip(self.indices, self.coefficients)))
+
+    def violation(self, x: np.ndarray) -> float:
+        """Amount by which ``x`` violates the row (0 when satisfied)."""
+        value = self.evaluate(x)
+        return max(0.0, self.lower - value, value - self.upper)
+
+
+class ConstraintBuilder:
+    """Accumulates :class:`ConstraintRow` objects and builds the sparse system."""
+
+    def __init__(self, num_variables: int | None = None) -> None:
+        self._rows: list[ConstraintRow] = []
+        self._num_variables = num_variables
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> list[ConstraintRow]:
+        return list(self._rows)
+
+    def add(
+        self,
+        terms: Mapping[int, float] | Iterable[tuple[int, float]],
+        lower: float = -INF,
+        upper: float = INF,
+        tag: str = "",
+    ) -> None:
+        """Add a row ``lower <= sum(coeff * x) <= upper``.
+
+        Terms with the same index are merged; zero coefficients are kept out.
+        """
+        if lower > upper:
+            raise ValueError(f"empty row interval [{lower}, {upper}]")
+        merged: dict[int, float] = {}
+        items = terms.items() if isinstance(terms, Mapping) else terms
+        for index, coefficient in items:
+            if index < 0:
+                raise ValueError(f"negative variable index {index}")
+            merged[index] = merged.get(index, 0.0) + float(coefficient)
+        merged = {i: c for i, c in merged.items() if c != 0.0}
+        if not merged:
+            if lower > 0.0 or upper < 0.0:
+                raise ValueError("constant row is infeasible")
+            return
+        indices = tuple(sorted(merged))
+        self._rows.append(
+            ConstraintRow(
+                indices=indices,
+                coefficients=tuple(merged[i] for i in indices),
+                lower=float(lower),
+                upper=float(upper),
+                tag=tag,
+            )
+        )
+
+    def add_le(self, terms, upper: float, tag: str = "") -> None:
+        """Add ``sum(terms) <= upper``."""
+        self.add(terms, lower=-INF, upper=upper, tag=tag)
+
+    def add_ge(self, terms, lower: float, tag: str = "") -> None:
+        """Add ``sum(terms) >= lower``."""
+        self.add(terms, lower=lower, upper=INF, tag=tag)
+
+    def add_eq(self, terms, value: float, tag: str = "") -> None:
+        """Add ``sum(terms) == value``."""
+        self.add(terms, lower=value, upper=value, tag=tag)
+
+    def extend(self, other: "ConstraintBuilder") -> None:
+        """Append all rows from another builder."""
+        self._rows.extend(other._rows)
+
+    def build(self, num_variables: int | None = None):
+        """Assemble ``(A, l, u)`` with ``A`` in CSR format.
+
+        Args:
+            num_variables: number of columns; defaults to the value passed
+                at construction or to ``max index + 1``.
+        """
+        if num_variables is None:
+            num_variables = self._num_variables
+        if num_variables is None:
+            num_variables = 1 + max(
+                (max(row.indices) for row in self._rows), default=-1
+            )
+        data: list[float] = []
+        row_ids: list[int] = []
+        col_ids: list[int] = []
+        lower = np.empty(len(self._rows))
+        upper = np.empty(len(self._rows))
+        for row_id, row in enumerate(self._rows):
+            lower[row_id] = row.lower
+            upper[row_id] = row.upper
+            for index, coefficient in zip(row.indices, row.coefficients):
+                if index >= num_variables:
+                    raise ValueError(
+                        f"row references column {index} >= n={num_variables}"
+                    )
+                row_ids.append(row_id)
+                col_ids.append(index)
+                data.append(coefficient)
+        matrix = sp.csr_matrix(
+            (data, (row_ids, col_ids)), shape=(len(self._rows), num_variables)
+        )
+        return matrix, lower, upper
+
+    def max_violation(self, x: np.ndarray) -> float:
+        """Largest violation of any row at ``x`` (0 when fully feasible)."""
+        return max((row.violation(x) for row in self._rows), default=0.0)
+
+    def rows_by_tag(self, prefix: str) -> list[ConstraintRow]:
+        """All rows whose tag starts with ``prefix``."""
+        return [row for row in self._rows if row.tag.startswith(prefix)]

@@ -1,0 +1,62 @@
+"""Common result and status types shared by all solvers in :mod:`repro.optim`."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolverStatus(enum.Enum):
+    """Termination status of a solver run."""
+
+    OPTIMAL = "optimal"
+    #: Residuals small but tolerance not fully met within the iteration cap.
+    ALMOST_OPTIMAL = "almost_optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL_ERROR = "numerical_error"
+
+    @property
+    def is_usable(self) -> bool:
+        """Whether the solution vector can be used as an answer."""
+        return self in (SolverStatus.OPTIMAL, SolverStatus.ALMOST_OPTIMAL)
+
+
+class SolverError(RuntimeError):
+    """Raised when a solver cannot produce a usable solution."""
+
+    def __init__(self, status: SolverStatus, message: str = "") -> None:
+        super().__init__(message or f"solver failed with status {status.value}")
+        self.status = status
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one solver invocation.
+
+    Attributes:
+        status: termination status.
+        x: primal solution (empty array when infeasible/unbounded).
+        objective: objective value at ``x`` (``nan`` when not usable).
+        iterations: iterations performed (0 for direct methods).
+        primal_residual: final primal feasibility residual (inf-norm).
+        dual_residual: final dual feasibility residual (inf-norm).
+        info: free-form solver-specific details.
+    """
+
+    status: SolverStatus
+    x: np.ndarray
+    objective: float = float("nan")
+    iterations: int = 0
+    primal_residual: float = float("nan")
+    dual_residual: float = float("nan")
+    info: dict = field(default_factory=dict)
+
+    def require_usable(self) -> "SolverResult":
+        """Return ``self`` or raise :class:`SolverError` if not usable."""
+        if not self.status.is_usable:
+            raise SolverError(self.status, str(self.info.get("message", "")))
+        return self

@@ -1,0 +1,56 @@
+"""Discrete-event simulator of a wireless ad-hoc collection network.
+
+This substrate replaces the paper's TOSSIM/TinyOS testbed. It reproduces the
+trace semantics Domo depends on (paper §III):
+
+* every node runs a **FIFO send queue** (generated + forwarded packets, head
+  retransmitted until acked or the retry limit);
+* a CSMA/CA-style MAC with random backoff, lossy links and a shared channel
+  (collisions when overlapping transmissions reach one receiver);
+* CTP-like **routing dynamics** (ETX gradient tree, parents change over
+  time as link qualities drift);
+* **no global clock** — nodes only ever timestamp with their drifting local
+  clocks, and node delays are local-time differences (SFD-to-SFD,
+  paper Fig. 5);
+* the node-side Domo instrumentation (paper Algorithm 1): a 2-byte
+  sum-of-node-delays accumulator written into each local packet, plus the
+  accumulated end-to-end delay field of Wang et al. [7].
+
+The simulator records a :class:`~repro.sim.trace.GroundTruthPacket` for every
+packet (true per-hop arrival times) next to the
+:class:`~repro.sim.trace.ReceivedPacket` view the sink actually has; Domo and
+the baselines only consume the latter.
+"""
+
+from repro.sim.clock import LocalClock
+from repro.sim.events import EventQueue
+from repro.sim.packet import Packet, PacketHeader, SUM_OF_DELAYS_MAX_MS
+from repro.sim.radio import LinkModel, RadioConfig
+from repro.sim.simulator import NetworkConfig, Simulator, simulate_network
+from repro.sim.topology import Topology, grid_topology, uniform_topology
+from repro.sim.trace import (
+    GroundTruthPacket,
+    ReceivedPacket,
+    TraceBundle,
+    drop_random_packets,
+)
+
+__all__ = [
+    "EventQueue",
+    "GroundTruthPacket",
+    "LinkModel",
+    "LocalClock",
+    "NetworkConfig",
+    "Packet",
+    "PacketHeader",
+    "RadioConfig",
+    "ReceivedPacket",
+    "SUM_OF_DELAYS_MAX_MS",
+    "Simulator",
+    "Topology",
+    "TraceBundle",
+    "drop_random_packets",
+    "grid_topology",
+    "simulate_network",
+    "uniform_topology",
+]

@@ -1,0 +1,51 @@
+"""Per-node local clocks with skew and drift.
+
+Wireless ad-hoc networks have no synchronized global clock (paper §II.A);
+nodes only timestamp events with their local oscillators. A local clock maps
+global simulation time ``t`` to ``offset + (1 + drift_ppm * 1e-6) * t``.
+Node delays are *differences* of two nearby local timestamps, so the skew
+cancels and only the (tiny) drift distorts them — exactly the property Domo
+relies on when it treats node-measured sojourn times as accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LocalClock:
+    """An affine local clock ``local = offset + rate * global``.
+
+    Attributes:
+        offset_ms: boot-time offset relative to global time.
+        drift_ppm: oscillator frequency error in parts per million; typical
+            crystal oscillators on sensor nodes are within +-50 ppm.
+    """
+
+    offset_ms: float = 0.0
+    drift_ppm: float = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Local seconds elapsed per global second."""
+        return 1.0 + self.drift_ppm * 1e-6
+
+    def local_time(self, global_time_ms: float) -> float:
+        """Local timestamp for a global instant."""
+        return self.offset_ms + self.rate * global_time_ms
+
+    def elapsed_local(self, global_start_ms: float, global_end_ms: float) -> float:
+        """Local-clock measurement of a global interval (what a node sees)."""
+        return self.local_time(global_end_ms) - self.local_time(global_start_ms)
+
+    @staticmethod
+    def random(rng: np.random.Generator, max_offset_ms: float = 1e7,
+               max_drift_ppm: float = 50.0) -> "LocalClock":
+        """Sample a realistic clock: large arbitrary offset, small drift."""
+        return LocalClock(
+            offset_ms=float(rng.uniform(0.0, max_offset_ms)),
+            drift_ppm=float(rng.uniform(-max_drift_ppm, max_drift_ppm)),
+        )

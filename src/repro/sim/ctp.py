@@ -1,0 +1,146 @@
+"""CTP-like routing: an ETX gradient tree that changes over time.
+
+The Collection Tree Protocol maintains, per node, an estimate of the
+expected number of transmissions (ETX) to reach the sink, and forwards to
+the neighbor minimizing link-ETX + neighbor-ETX. We recompute the gradient
+periodically from the (time-varying, noisily estimated) link PRRs — this
+yields exactly the routing dynamics the paper's network model calls out:
+packet paths change as links fade, while each epoch's tree is loop-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.radio import LinkModel
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Parameters of the gradient recomputation."""
+
+    #: gradient (beacon-driven) recomputation period, ms.
+    beacon_period_ms: float = 10_000.0
+    #: multiplicative noise applied to PRR estimates (link estimator error).
+    estimate_noise: float = 0.1
+    #: links with PRR below this are not usable for routing.
+    min_usable_prr: float = 0.2
+    #: parent switch hysteresis: switch only if the new route beats the
+    #: current one by this ETX margin (CTP's PARENT_SWITCH_THRESHOLD).
+    switch_threshold_etx: float = 1.5
+
+
+class RoutingEngine:
+    """Maintains each node's current parent toward the sink."""
+
+    def __init__(
+        self,
+        link_model: LinkModel,
+        sink: int,
+        config: RoutingConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._links = link_model
+        self._sink = sink
+        self.config = config or RoutingConfig()
+        self._rng = rng or np.random.default_rng()
+        self._neighbors = link_model.neighbor_map()
+        self._parents: dict[int, int | None] = {}
+        self._etx: dict[int, float] = {}
+        self._last_update_ms = -math.inf
+        self.parent_changes = 0
+
+    @property
+    def sink(self) -> int:
+        return self._sink
+
+    def refresh(self, now_ms: float, force: bool = False) -> None:
+        """Recompute the gradient if the beacon period elapsed."""
+        if not force and now_ms - self._last_update_ms < self.config.beacon_period_ms:
+            return
+        self._last_update_ms = now_ms
+        etx, best_parent = self._dijkstra(now_ms)
+        for node, parent in best_parent.items():
+            current = self._parents.get(node)
+            if current is None or current not in self._neighbors.get(node, []):
+                changed = current != parent
+                self._parents[node] = parent
+            else:
+                # Hysteresis: keep the current parent unless clearly worse.
+                current_cost = self._route_cost_via(node, current, etx, now_ms)
+                new_cost = etx[node]
+                if current_cost > new_cost + self.config.switch_threshold_etx:
+                    self._parents[node] = parent
+                    changed = current != parent
+                else:
+                    changed = False
+            if changed and current is not None:
+                self.parent_changes += 1
+        self._etx = etx
+
+    def _link_etx(self, a: int, b: int, now_ms: float) -> float:
+        prr = self._links.prr(a, b, now_ms)
+        noisy = prr * (1.0 + self._rng.normal(0.0, self.config.estimate_noise))
+        noisy = min(1.0, max(1e-3, noisy))
+        if noisy < self.config.min_usable_prr:
+            return math.inf
+        return 1.0 / noisy
+
+    def _route_cost_via(
+        self, node: int, parent: int, etx: dict[int, float], now_ms: float
+    ) -> float:
+        parent_etx = etx.get(parent, math.inf)
+        return self._link_etx(node, parent, now_ms) + parent_etx
+
+    def _dijkstra(self, now_ms: float):
+        """Single-source shortest ETX paths from the sink."""
+        etx: dict[int, float] = {self._sink: 0.0}
+        best_parent: dict[int, int] = {}
+        heap: list[tuple[float, int]] = [(0.0, self._sink)]
+        visited: set[int] = set()
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for neighbor in self._neighbors.get(node, []):
+                if neighbor in visited:
+                    continue
+                link = self._link_etx(neighbor, node, now_ms)
+                if not math.isfinite(link):
+                    continue
+                candidate = cost + link
+                if candidate < etx.get(neighbor, math.inf):
+                    etx[neighbor] = candidate
+                    best_parent[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        return etx, best_parent
+
+    def parent(self, node: int, now_ms: float) -> int | None:
+        """Current next hop of ``node`` toward the sink (None if cut off)."""
+        if node == self._sink:
+            return None
+        self.refresh(now_ms)
+        return self._parents.get(node)
+
+    def is_connected(self, node: int) -> bool:
+        """Whether the node currently has a route to the sink."""
+        return node == self._sink or self._parents.get(node) is not None
+
+    def route_of(self, node: int, now_ms: float, max_hops: int = 64) -> list[int]:
+        """The full current path node -> sink (diagnostics only)."""
+        path = [node]
+        current = node
+        for _ in range(max_hops):
+            if current == self._sink:
+                return path
+            nxt = self.parent(current, now_ms)
+            if nxt is None:
+                return path
+            path.append(nxt)
+            current = nxt
+        return path

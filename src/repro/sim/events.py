@@ -1,0 +1,70 @@
+"""A minimal discrete-event scheduler.
+
+Times are floats in **milliseconds** throughout the simulator. Events with
+equal timestamps fire in insertion order (a strictly increasing sequence
+number breaks ties), which keeps runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """Priority queue of timed callbacks driving the simulation."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` ms from the current time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), action))
+
+    def run_until(self, horizon: float) -> int:
+        """Run events with timestamps ``<= horizon``; returns events fired.
+
+        The clock is left at ``horizon`` even if the queue drains early, so
+        consecutive calls see monotone time.
+        """
+        fired = 0
+        while self._heap and self._heap[0][0] <= horizon:
+            time, _, action = heapq.heappop(self._heap)
+            self._now = time
+            action()
+            fired += 1
+        self._now = max(self._now, horizon)
+        return fired
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        fired = 0
+        while self._heap:
+            if fired >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
+            time, _, action = heapq.heappop(self._heap)
+            self._now = time
+            action()
+            fired += 1
+        return fired

@@ -1,0 +1,137 @@
+"""Trace persistence: save/load a :class:`TraceBundle` as JSON.
+
+A deployment collects once and analyzes many times; these helpers let the
+sink-side trace (and the evaluation oracle) be archived and reloaded
+without re-running a simulation. The format is versioned, plain JSON —
+inspectable with any tooling, stable across refactors of the in-memory
+classes.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.sim.packet import PacketId
+from repro.sim.trace import (
+    GroundTruthPacket,
+    NodeLogEntry,
+    ReceivedPacket,
+    TraceBundle,
+)
+
+FORMAT_VERSION = 1
+
+
+def _packet_id_to_json(packet_id: PacketId) -> list:
+    return [packet_id.source, packet_id.seqno]
+
+
+def _packet_id_from_json(data) -> PacketId:
+    return PacketId(source=int(data[0]), seqno=int(data[1]))
+
+
+def trace_to_dict(trace: TraceBundle) -> dict:
+    """Lossless dictionary form of a trace bundle."""
+    return {
+        "version": FORMAT_VERSION,
+        "sink": trace.sink,
+        "duration_ms": trace.duration_ms,
+        "received": [
+            {
+                "id": _packet_id_to_json(p.packet_id),
+                "path": list(p.path),
+                "t0": p.generation_time_ms,
+                "t_sink": p.sink_arrival_ms,
+                "sum_of_delays": p.sum_of_delays_ms,
+            }
+            for p in trace.received
+        ],
+        "ground_truth": [
+            {
+                "id": _packet_id_to_json(g.packet_id),
+                "path": list(g.path),
+                "arrivals": list(g.arrival_times_ms),
+            }
+            for g in trace.ground_truth.values()
+        ],
+        "node_logs": {
+            str(node): [
+                [entry.kind, *_packet_id_to_json(entry.packet_id),
+                 entry.local_time_ms]
+                for entry in log
+            ]
+            for node, log in trace.node_logs.items()
+        },
+        "lost": [_packet_id_to_json(pid) for pid in trace.lost_packets],
+    }
+
+
+def trace_from_dict(data: dict) -> TraceBundle:
+    """Inverse of :func:`trace_to_dict` (validates the format version)."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    received = [
+        ReceivedPacket(
+            packet_id=_packet_id_from_json(item["id"]),
+            path=tuple(int(n) for n in item["path"]),
+            generation_time_ms=float(item["t0"]),
+            sink_arrival_ms=float(item["t_sink"]),
+            sum_of_delays_ms=int(item["sum_of_delays"]),
+        )
+        for item in data["received"]
+    ]
+    ground_truth = {}
+    for item in data["ground_truth"]:
+        packet = GroundTruthPacket(
+            packet_id=_packet_id_from_json(item["id"]),
+            path=tuple(int(n) for n in item["path"]),
+            arrival_times_ms=tuple(float(t) for t in item["arrivals"]),
+        )
+        ground_truth[packet.packet_id] = packet
+    node_logs = {
+        int(node): [
+            NodeLogEntry(
+                kind=entry[0],
+                packet_id=PacketId(int(entry[1]), int(entry[2])),
+                local_time_ms=float(entry[3]),
+            )
+            for entry in log
+        ]
+        for node, log in data.get("node_logs", {}).items()
+    }
+    return TraceBundle(
+        received=received,
+        ground_truth=ground_truth,
+        node_logs=node_logs,
+        lost_packets=[_packet_id_from_json(x) for x in data.get("lost", [])],
+        sink=int(data.get("sink", 0)),
+        duration_ms=float(data.get("duration_ms", 0.0)),
+    )
+
+
+def save_trace(trace: TraceBundle, path: str | Path) -> None:
+    """Write a trace to ``path``; ``.gz`` suffixes are gzip-compressed."""
+    path = Path(path)
+    payload = json.dumps(trace_to_dict(trace), separators=(",", ":"))
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+
+
+def load_trace(path: str | Path) -> TraceBundle:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = handle.read()
+    else:
+        payload = path.read_text(encoding="utf-8")
+    return trace_from_dict(json.loads(payload))

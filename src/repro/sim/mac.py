@@ -1,0 +1,91 @@
+"""CSMA/CA-style MAC: backoff, unicast with acks, and a collision channel.
+
+The model keeps what matters for delay tomography — per-packet sojourn
+times are dominated by queueing, random backoff, airtime and
+retransmissions — without simulating signal capture at sample granularity
+the way TOSSIM's CPM does. Collisions are pairwise: a reception fails when
+another transmission from a sender in range of the receiver overlaps it in
+time, or when the receiver itself was transmitting (half-duplex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Link-layer timing parameters (TinyOS CC2420 CSMA-like defaults)."""
+
+    #: uniform initial backoff window before the first attempt, ms.
+    initial_backoff_min_ms: float = 0.3
+    initial_backoff_max_ms: float = 9.8
+    #: uniform congestion backoff window between retries, ms.
+    retry_backoff_min_ms: float = 0.3
+    retry_backoff_max_ms: float = 2.4
+    #: extra per-retry backoff growth (linear), ms.
+    retry_backoff_step_ms: float = 1.0
+    #: maximum link-layer transmissions per packet (CTP uses up to 30).
+    max_transmissions: int = 30
+    #: turnaround cost of the ack exchange after a successful frame, ms.
+    ack_turnaround_ms: float = 0.7
+    #: probability that the ack of a successfully received frame is lost,
+    #: causing a spurious retransmission (duplicate at the receiver).
+    ack_loss_prob: float = 0.0
+    #: software processing floor between receive-SFD and transmit-SFD, ms —
+    #: this is the paper's omega (minimum software processing delay).
+    processing_floor_ms: float = 1.0
+
+
+@dataclass
+class _Transmission:
+    sender: int
+    start_ms: float
+    end_ms: float
+
+
+@dataclass
+class Channel:
+    """Tracks in-flight and recently finished transmissions for overlap checks.
+
+    Finished transmissions are retained briefly so that a frame evaluated at
+    its end time still sees shorter frames that started and ended inside
+    its own airtime.
+    """
+
+    #: how long finished transmissions stay visible for overlap checks, ms.
+    history_ms: float = 50.0
+    _active: dict[int, _Transmission] = field(default_factory=dict)
+    _recent: list[_Transmission] = field(default_factory=list)
+    collisions: int = 0
+
+    def begin(self, sender: int, start_ms: float, end_ms: float) -> None:
+        """Register a transmission (one per sender at a time)."""
+        if sender in self._active:
+            raise RuntimeError(f"node {sender} is already transmitting")
+        self._active[sender] = _Transmission(sender, start_ms, end_ms)
+
+    def finish(self, sender: int) -> _Transmission:
+        """Deregister the sender's transmission, keeping it in history."""
+        tx = self._active.pop(sender)
+        self._recent.append(tx)
+        cutoff = tx.end_ms - self.history_ms
+        if self._recent and self._recent[0].end_ms < cutoff:
+            self._recent = [t for t in self._recent if t.end_ms >= cutoff]
+        return tx
+
+    def overlapping_senders(
+        self, start_ms: float, end_ms: float, exclude: int
+    ) -> list[int]:
+        """Senders (other than ``exclude``) transmitting during [start, end]."""
+        candidates = list(self._active.values()) + self._recent
+        return [
+            tx.sender
+            for tx in candidates
+            if tx.sender != exclude
+            and tx.start_ms < end_ms
+            and tx.end_ms > start_ms
+        ]
+
+    def is_transmitting(self, node: int) -> bool:
+        return node in self._active

@@ -1,0 +1,348 @@
+"""Node behavior: application, forwarding, MAC service and Algorithm 1.
+
+Each node owns a FIFO send queue; the head packet is served with CSMA
+backoff and retransmitted until acked or the retry limit. All Domo
+node-side instrumentation lives here:
+
+* SFD timestamping (paper Fig. 5): a packet's sojourn is measured on the
+  node's **local clock** from receive-SFD (or generation) to the transmit-
+  SFD of its final link-layer transmission;
+* the sum-of-node-delays accumulator (paper Algorithm 1), written into the
+  2-byte field of every departing *local* packet and then cleared;
+* the accumulated end-to-end delay field (Wang et al. [7]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.clock import LocalClock
+from repro.sim.ctp import RoutingEngine
+from repro.sim.events import EventQueue
+from repro.sim.mac import Channel, MacConfig
+from repro.sim.packet import Packet, PacketHeader, PacketId, quantize_ms
+from repro.sim.queueing import FifoSendQueue
+from repro.sim.radio import LinkModel
+from repro.sim.trace import NodeLogEntry
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters surfaced by the simulator for diagnostics."""
+
+    generated: int = 0
+    forwarded: int = 0
+    delivered_upstream: int = 0
+    dropped_retries: int = 0
+    dropped_queue: int = 0
+    dropped_no_route: int = 0
+    transmissions: int = 0
+    duplicates_suppressed: int = 0
+
+
+@dataclass
+class _Environment:
+    """Shared simulation services handed to every node."""
+
+    events: EventQueue
+    channel: Channel
+    links: LinkModel
+    routing: RoutingEngine
+    rng: np.random.Generator
+    mac: MacConfig
+    #: called when a packet is lost anywhere in the network.
+    on_lost: Callable[[PacketId], None]
+    #: Domo instrumentation can be disabled for overhead comparisons.
+    domo_enabled: bool = True
+    #: route-wait before giving up on a packet with no parent, ms.
+    no_route_retry_ms: float = 1000.0
+    no_route_max_waits: int = 10
+    #: all nodes by id, filled in by the simulator after construction.
+    nodes: dict[int, "Node"] = field(default_factory=dict)
+    #: fault injection: extra per-packet processing delay per node, ms
+    #: (models overloaded/buggy nodes — the paper's Fig. 1 motivation).
+    extra_processing_ms: dict[int, float] = field(default_factory=dict)
+
+
+class Node:
+    """One sensor node (or the sink, which only receives)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        env: _Environment,
+        clock: LocalClock,
+        queue_capacity: int = 12,
+        is_sink: bool = False,
+        on_sink_receive: Callable[[Packet, float], None] | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.is_sink = is_sink
+        self.clock = clock
+        self.stats = NodeStats()
+        self.log: list[NodeLogEntry] = []
+        self._env = env
+        self._queue = FifoSendQueue(capacity=queue_capacity)
+        self._busy = False
+        self._seqno = 0
+        #: Algorithm 1 state: the running sum of node delays (local ms).
+        self._sum_hop_delays_ms = 0.0
+        #: global arrival time of the packet currently at this node
+        #: (receive-SFD / generation instant), keyed by packet id.
+        self._arrival_global_ms: dict[PacketId, float] = {}
+        #: duplicate-suppression cache (CTP-style), bounded FIFO.
+        self._seen: set[PacketId] = set()
+        self._seen_order: list[PacketId] = []
+        self._seen_capacity = 256
+        self._on_sink_receive = on_sink_receive
+
+    # ------------------------------------------------------------------
+    # Application layer
+    # ------------------------------------------------------------------
+
+    def generate_packet(self, payload_bytes: int = 24) -> PacketId:
+        """Create a local data packet and enqueue it (event: paper Alg.1 l.2)."""
+        now = self._env.events.now
+        packet_id = PacketId(source=self.node_id, seqno=self._seqno)
+        self._seqno += 1
+        packet = Packet(
+            header=PacketHeader(packet_id=packet_id, path=[self.node_id]),
+            payload_bytes=payload_bytes,
+            generation_time_ms=now,
+            arrival_times_ms=[now],
+        )
+        self.stats.generated += 1
+        self._arrival_global_ms[packet_id] = now
+        self._remember(packet_id)  # a looped-back own packet is a duplicate
+        self.log.append(
+            NodeLogEntry("gen", packet_id, self.clock.local_time(now))
+        )
+        if not self._queue.offer(packet):
+            self.stats.dropped_queue += 1
+            self._forget(packet)
+            self._env.on_lost(packet_id)
+            return packet_id
+        self._kick()
+        return packet_id
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Handle a frame that physically arrived at this node.
+
+        Duplicates (retransmissions after a lost ack) are suppressed via a
+        bounded cache of recently seen packet ids, as CTP does.
+        """
+        if packet.packet_id in self._seen:
+            # Either a retransmission after a lost ack (the first copy is
+            # already traveling on — not a loss) or a routing-loop revisit
+            # (this copy dies here). The simulator reconciles: lost ids
+            # that eventually reach the sink are dropped from the lost
+            # list when the trace is assembled.
+            self.stats.duplicates_suppressed += 1
+            self._env.on_lost(packet.packet_id)
+            return
+        self._remember(packet.packet_id)
+        now = self._env.events.now
+        packet.arrival_times_ms.append(now)
+        packet.header.path.append(self.node_id)
+        self.log.append(
+            NodeLogEntry("recv", packet.packet_id, self.clock.local_time(now))
+        )
+        if self.is_sink:
+            if self._on_sink_receive is not None:
+                self._on_sink_receive(packet, now)
+            return
+        self._arrival_global_ms[packet.packet_id] = now
+        if not self._queue.offer(packet):
+            self.stats.dropped_queue += 1
+            self._forget(packet)
+            self._env.on_lost(packet.packet_id)
+            return
+        self._kick()
+
+    def _remember(self, packet_id: PacketId) -> None:
+        self._seen.add(packet_id)
+        self._seen_order.append(packet_id)
+        if len(self._seen_order) > self._seen_capacity:
+            oldest = self._seen_order.pop(0)
+            self._seen.discard(oldest)
+
+    # ------------------------------------------------------------------
+    # MAC service loop
+    # ------------------------------------------------------------------
+
+    def _kick(self) -> None:
+        """Start serving the queue head if the radio is idle."""
+        if self._busy or self._queue.is_empty or self.is_sink:
+            return
+        self._busy = True
+        mac = self._env.mac
+        rng = self._env.rng
+        backoff = mac.processing_floor_ms + rng.uniform(
+            mac.initial_backoff_min_ms, mac.initial_backoff_max_ms
+        )
+        backoff += self._env.extra_processing_ms.get(self.node_id, 0.0)
+        packet = self._queue.head()
+        self._env.events.schedule(
+            backoff, lambda: self._attempt(packet, attempt=1, route_waits=0)
+        )
+
+    def _attempt(self, packet: Packet, attempt: int, route_waits: int) -> None:
+        """One link-layer transmission attempt of the queue head."""
+        now = self._env.events.now
+        parent = self._env.routing.parent(self.node_id, now)
+        if parent is None:
+            if route_waits >= self._env.no_route_max_waits:
+                self._give_up(packet, reason="no_route")
+                return
+            self._env.events.schedule(
+                self._env.no_route_retry_ms,
+                lambda: self._attempt(packet, attempt, route_waits + 1),
+            )
+            return
+        airtime = self._env.links.airtime_ms(
+            packet.size_bytes(self._env.domo_enabled)
+        )
+        self._env.channel.begin(self.node_id, now, now + airtime)
+        self.stats.transmissions += 1
+        packet.transmissions += 1
+        self._env.events.schedule(
+            airtime,
+            lambda: self._transmission_end(packet, parent, now, attempt),
+        )
+
+    def _transmission_end(
+        self, packet: Packet, receiver: int, start_ms: float, attempt: int
+    ) -> None:
+        """Evaluate the attempt's outcome at its final SFD."""
+        env = self._env
+        now = env.events.now
+        env.channel.finish(self.node_id)
+
+        collided = bool(
+            [
+                sender
+                for sender in env.channel.overlapping_senders(
+                    start_ms, now, exclude=self.node_id
+                )
+                if env.links.in_range(sender, receiver)
+            ]
+        ) or env.channel.is_transmitting(receiver)
+        if collided:
+            env.channel.collisions += 1
+        link_ok = env.rng.random() < env.links.prr(self.node_id, receiver, now)
+        data_delivered = link_ok and not collided
+        ack_received = data_delivered and (
+            env.mac.ack_loss_prob <= 0.0
+            or env.rng.random() >= env.mac.ack_loss_prob
+        )
+
+        if data_delivered:
+            # Hand an immutable frame snapshot to the receiver at the
+            # transmit-SFD instant; propagation is negligible (§III.A).
+            # The snapshot carries the sojourn measured up to THIS
+            # attempt, exactly as the SFD-stamped bytes on air would.
+            frame = self._stamp_frame(packet, now)
+            env.nodes[receiver].receive(frame)
+
+        if ack_received:
+            self._depart(packet, now)
+            env.events.schedule(env.mac.ack_turnaround_ms, self._after_departure)
+            self.stats.delivered_upstream += 1
+            if packet.source != self.node_id:
+                self.stats.forwarded += 1
+            return
+
+        # Either the data or its ack was lost: the sender must retry.
+        if attempt >= env.mac.max_transmissions:
+            self._give_up(packet, reason="retries")
+            return
+        backoff = env.rng.uniform(
+            env.mac.retry_backoff_min_ms, env.mac.retry_backoff_max_ms
+        ) + env.mac.retry_backoff_step_ms * min(attempt, 8)
+        env.events.schedule(
+            backoff, lambda: self._attempt(packet, attempt + 1, route_waits=0)
+        )
+
+    def _stamp_frame(self, packet: Packet, now: float) -> Packet:
+        """The frame snapshot for one attempt, with Domo fields stamped."""
+        frame = packet.delivery_copy()
+        if not self._env.domo_enabled:
+            return frame
+        arrival_global = self._arrival_global_ms[packet.packet_id]
+        sojourn_local = self.clock.elapsed_local(arrival_global, now)
+        # End-to-end delay accumulation of [7] (written at transmit-SFD).
+        frame.header.e2e_delay_ms += sojourn_local
+        if packet.source == self.node_id:
+            # Algorithm 1 line 10: write the sum into the outgoing local
+            # packet's transmission RAM (accumulator itself not cleared
+            # until sendDone, i.e. _depart).
+            frame.header.sum_of_delays_ms = quantize_ms(
+                self._sum_hop_delays_ms + sojourn_local
+            )
+        return frame
+
+    def _after_departure(self) -> None:
+        self._busy = False
+        self._kick()
+
+    # ------------------------------------------------------------------
+    # Departure bookkeeping (Algorithm 1 lives here)
+    # ------------------------------------------------------------------
+
+    def _depart(self, packet: Packet, now: float) -> None:
+        """sendDone fired (acked, or retries exhausted): bookkeeping.
+
+        The Domo header fields themselves were stamped into the frame at
+        its transmit-SFD (:meth:`_stamp_frame`); here the node updates its
+        *local* Algorithm-1 state and releases the queue slot.
+        """
+        arrival_global = self._arrival_global_ms.pop(packet.packet_id)
+        sojourn_local = self.clock.elapsed_local(arrival_global, now)
+        if self._env.domo_enabled:
+            # Algorithm 1 line 8: accumulate every departing packet's delay.
+            self._sum_hop_delays_ms += sojourn_local
+            if packet.source == self.node_id:
+                # Line 11: the buffer is cleared once the local packet was
+                # transmitted (its frame already carries the written sum).
+                self._sum_hop_delays_ms = 0.0
+        self.log.append(
+            NodeLogEntry("send", packet.packet_id, self.clock.local_time(now))
+        )
+        self._queue.pop()
+
+    def _give_up(self, packet: Packet, reason: str) -> None:
+        """Drop the head packet after exhausting retries or routes.
+
+        The packet *did* occupy this node and (for retry exhaustion) did
+        fire transmit-SFDs, so Algorithm 1 still accumulates its sojourn —
+        losses are precisely why constraint (6) can break while (7) cannot.
+        """
+        now = self._env.events.now
+        if reason == "retries":
+            self._depart(packet, now)
+            self.stats.dropped_retries += 1
+        else:
+            self._arrival_global_ms.pop(packet.packet_id, None)
+            self._queue.pop()
+            self.stats.dropped_no_route += 1
+        self._env.on_lost(packet.packet_id)
+        self._busy = False
+        self._kick()
+
+    def _forget(self, packet: Packet) -> None:
+        self._arrival_global_ms.pop(packet.packet_id, None)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queue_stats(self):
+        return self._queue.stats

@@ -1,0 +1,104 @@
+"""Packet structures carrying the Domo measurement fields.
+
+Per the paper (§V, Table I), Domo adds **four bytes** to every data packet:
+
+* a 2-byte **sum-of-node-delays** field (1 ms precision, so values up to
+  ``65535`` ms ≈ 65 s), written at the transmit-SFD of each *local* packet
+  (Algorithm 1);
+* a 2-byte accumulated **end-to-end delay** field (Wang et al. [7]): each
+  forwarder adds its measured sojourn time, so the sink reads the full path
+  delay without any clock synchronization.
+
+The routing path is assumed reconstructable (MNT / PathZip / Pathfinder);
+we carry it in the packet for convenience, standing in for those schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Largest value the 2-byte sum-of-delays field can record, in ms.
+SUM_OF_DELAYS_MAX_MS = 65535
+
+#: Bytes Domo adds to every packet (sum-of-delays + e2e timestamp).
+DOMO_HEADER_BYTES = 4
+
+
+def quantize_ms(value_ms: float, max_value: int = SUM_OF_DELAYS_MAX_MS) -> int:
+    """Round a duration to the 1 ms wire precision, clipped to the field size."""
+    return min(max_value, max(0, int(round(value_ms))))
+
+
+@dataclass(frozen=True, order=True)
+class PacketId:
+    """Globally unique packet identity: (source node, per-source seqno)."""
+
+    source: int
+    seqno: int
+
+    def __str__(self) -> str:
+        return f"{self.source}#{self.seqno}"
+
+
+@dataclass
+class PacketHeader:
+    """Measurement-relevant header fields as seen on the wire."""
+
+    packet_id: PacketId
+    #: reconstructed routing path (source .. sink), per the path
+    #: reconstruction assumption of §III.
+    path: list[int] = field(default_factory=list)
+    #: 2-byte sum-of-node-delays written by the source (Algorithm 1), ms.
+    sum_of_delays_ms: int = 0
+    #: accumulated end-to-end delay, updated by every forwarder, ms.
+    e2e_delay_ms: float = 0.0
+
+
+@dataclass
+class Packet:
+    """A data packet in flight, plus simulator-side ground truth.
+
+    ``arrival_times_ms`` holds the *global* time the packet arrived at each
+    node of its path so far (index 0 = generation time at the source); only
+    the simulator and the evaluation harness read it — the sink-side
+    algorithms never see it.
+    """
+
+    header: PacketHeader
+    payload_bytes: int = 24
+    generation_time_ms: float = 0.0
+    arrival_times_ms: list[float] = field(default_factory=list)
+    #: number of link-layer transmissions spent so far (diagnostics).
+    transmissions: int = 0
+
+    def delivery_copy(self) -> "Packet":
+        """Snapshot handed to the receiver at a successful reception.
+
+        Real radios deliver an immutable frame; anything the sender does
+        afterwards (retransmissions after a lost ack, bookkeeping) must
+        not affect the copy already traveling onward.
+        """
+        return Packet(
+            header=PacketHeader(
+                packet_id=self.header.packet_id,
+                path=list(self.header.path),
+                sum_of_delays_ms=self.header.sum_of_delays_ms,
+                e2e_delay_ms=self.header.e2e_delay_ms,
+            ),
+            payload_bytes=self.payload_bytes,
+            generation_time_ms=self.generation_time_ms,
+            arrival_times_ms=list(self.arrival_times_ms),
+            transmissions=self.transmissions,
+        )
+
+    @property
+    def packet_id(self) -> PacketId:
+        return self.header.packet_id
+
+    @property
+    def source(self) -> int:
+        return self.header.packet_id.source
+
+    def size_bytes(self, domo_enabled: bool = True) -> int:
+        """On-air payload size, including Domo's 4-byte overhead if enabled."""
+        return self.payload_bytes + (DOMO_HEADER_BYTES if domo_enabled else 0)

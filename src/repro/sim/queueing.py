@@ -1,0 +1,67 @@
+"""The FIFO send queue every node runs (paper §III.A).
+
+The queue holds both locally generated and to-be-forwarded packets; the
+head is retransmitted until acknowledged or the retry limit is reached.
+FIFO ordering is the property Domo's first constraint family is built on,
+so the queue is its own small module with its own tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters for drop accounting and diagnostics."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped_overflow: int = 0
+    peak_depth: int = 0
+
+
+@dataclass
+class FifoSendQueue:
+    """Bounded FIFO of outgoing packets.
+
+    ``capacity`` mirrors the small message pools of sensor OSes (CTP's
+    default forwarding queue holds around a dozen packets).
+    """
+
+    capacity: int = 12
+    _items: deque = field(default_factory=deque)
+    stats: QueueStats = field(default_factory=QueueStats)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False (drop) when full."""
+        if self.is_full:
+            self.stats.dropped_overflow += 1
+            return False
+        self._items.append(packet)
+        self.stats.enqueued += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+        return True
+
+    def head(self) -> Packet:
+        """The packet currently being served (queue must be non-empty)."""
+        return self._items[0]
+
+    def pop(self) -> Packet:
+        """Remove and return the head after it departed (acked or given up)."""
+        self.stats.dequeued += 1
+        return self._items.popleft()

@@ -1,0 +1,134 @@
+"""Link quality model: log-distance path loss, shadowing, and slow fading.
+
+TOSSIM drives packet reception from signal strength with the closest-pattern
+matching noise model; we use the standard log-normal shadowing abstraction
+on top of a logistic SNR-to-PRR curve, plus a slowly time-varying fading
+term per link. The time-varying term is what produces the *link dynamics*
+(and hence routing dynamics) that the paper stresses as the reason wired
+tomography methods do not transfer to wireless (§II.A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Physical-layer parameters (defaults approximate a CC2420 at 0 dBm)."""
+
+    tx_power_dbm: float = 0.0
+    path_loss_exponent: float = 3.0
+    reference_loss_db: float = 45.0  # loss at 1 m
+    shadowing_sigma_db: float = 4.0
+    noise_floor_dbm: float = -98.0
+    #: logistic steepness of the SNR -> PRR curve.
+    prr_slope: float = 1.2
+    #: SNR (dB) at which PRR = 0.5.
+    prr_midpoint_db: float = 3.0
+    #: maximum distance at which links are considered at all.
+    max_range_m: float = 60.0
+    #: std-dev of the per-link slow fading random walk (dB per sqrt(s)).
+    fading_walk_db: float = 0.6
+    #: fading is re-sampled on this period (ms).
+    fading_period_ms: float = 5000.0
+    bitrate_kbps: float = 250.0
+
+
+class LinkModel:
+    """Per-link packet reception probabilities with slow time variation.
+
+    The static part of each link's gain is sampled once (log-normal
+    shadowing); a per-link Ornstein-Uhlenbeck-style random walk adds the
+    slow fading that makes PRRs (and CTP parents) change over time.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        config: RadioConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or RadioConfig()
+        self._rng = rng or np.random.default_rng()
+        self._positions = np.asarray(positions, dtype=float)
+        n = self._positions.shape[0]
+        deltas = self._positions[:, None, :] - self._positions[None, :, :]
+        self._distances = np.hypot(deltas[..., 0], deltas[..., 1])
+        # Symmetric static shadowing per link.
+        raw = self._rng.normal(0.0, self.config.shadowing_sigma_db, size=(n, n))
+        self._shadowing = np.triu(raw, 1)
+        self._shadowing = self._shadowing + self._shadowing.T
+        self._fading = np.zeros((n, n))
+        self._fading_epoch = -1
+
+    @property
+    def num_nodes(self) -> int:
+        return self._positions.shape[0]
+
+    def distance(self, a: int, b: int) -> float:
+        return float(self._distances[a, b])
+
+    def in_range(self, a: int, b: int) -> bool:
+        """Whether the pair is close enough to ever communicate."""
+        return a != b and self._distances[a, b] <= self.config.max_range_m
+
+    def _refresh_fading(self, now_ms: float) -> None:
+        epoch = int(now_ms // self.config.fading_period_ms)
+        if epoch == self._fading_epoch:
+            return
+        steps = 1 if self._fading_epoch < 0 else max(1, epoch - self._fading_epoch)
+        n = self.num_nodes
+        scale = self.config.fading_walk_db * math.sqrt(
+            steps * self.config.fading_period_ms / 1000.0
+        )
+        raw = self._rng.normal(0.0, scale, size=(n, n))
+        walk = np.triu(raw, 1)
+        walk = walk + walk.T
+        # Mean-reverting update keeps fading bounded over long runs.
+        self._fading = 0.8 * self._fading + walk
+        self._fading_epoch = epoch
+
+    def rssi_dbm(self, sender: int, receiver: int, now_ms: float) -> float:
+        """Received signal strength for a transmission right now."""
+        self._refresh_fading(now_ms)
+        cfg = self.config
+        d = max(self._distances[sender, receiver], 1.0)
+        loss = cfg.reference_loss_db + 10.0 * cfg.path_loss_exponent * math.log10(d)
+        return (
+            cfg.tx_power_dbm
+            - loss
+            + self._shadowing[sender, receiver]
+            + self._fading[sender, receiver]
+        )
+
+    def prr(self, sender: int, receiver: int, now_ms: float) -> float:
+        """Packet reception ratio of the directed link at time ``now_ms``."""
+        if not self.in_range(sender, receiver):
+            return 0.0
+        snr = self.rssi_dbm(sender, receiver, now_ms) - self.config.noise_floor_dbm
+        x = self.config.prr_slope * (snr - self.config.prr_midpoint_db)
+        # Clamp the exponent to avoid overflow for very strong/weak links.
+        x = max(-30.0, min(30.0, x))
+        return 1.0 / (1.0 + math.exp(-x))
+
+    def airtime_ms(self, payload_bytes: int) -> float:
+        """Time on air for a frame with the given payload size."""
+        # PHY/MAC framing overhead of roughly 19 bytes (802.15.4-like).
+        bits = (payload_bytes + 19) * 8
+        return bits / self.config.bitrate_kbps
+
+    def neighbor_map(self) -> dict[int, list[int]]:
+        """Nodes within ``max_range_m`` of each node."""
+        result: dict[int, list[int]] = {}
+        n = self.num_nodes
+        for a in range(n):
+            result[a] = [
+                b
+                for b in range(n)
+                if b != a and self._distances[a, b] <= self.config.max_range_m
+            ]
+        return result

@@ -1,0 +1,193 @@
+"""The simulation driver: build a network, run it, collect the trace.
+
+:func:`simulate_network` is the one call the experiments need: it wires the
+topology, radio, routing, MAC and nodes together, runs periodic data
+collection to the sink for a configured duration, and returns a
+:class:`~repro.sim.trace.TraceBundle` (sink-side trace + ground truth +
+node logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.clock import LocalClock
+from repro.sim.ctp import RoutingConfig, RoutingEngine
+from repro.sim.events import EventQueue
+from repro.sim.mac import Channel, MacConfig
+from repro.sim.node import Node, _Environment
+from repro.sim.packet import Packet, PacketId
+from repro.sim.radio import LinkModel, RadioConfig
+from repro.sim.topology import Topology, grid_topology, uniform_topology
+from repro.sim.trace import GroundTruthPacket, ReceivedPacket, TraceBundle
+
+
+@dataclass
+class NetworkConfig:
+    """Everything that defines one simulated deployment and workload."""
+
+    num_nodes: int = 100
+    #: "uniform" (paper §VI.A) or "grid" (deterministic; tests/examples).
+    placement: str = "uniform"
+    side_m: float | None = None
+    duration_ms: float = 120_000.0
+    #: mean packet generation period per node (paper: periodic collection).
+    packet_period_ms: float = 5_000.0
+    #: relative jitter of the generation period (0.1 -> +-10%).
+    period_jitter: float = 0.2
+    payload_bytes: int = 24
+    queue_capacity: int = 12
+    seed: int = 1
+    domo_enabled: bool = True
+    radio: RadioConfig = field(default_factory=RadioConfig)
+    mac: MacConfig = field(default_factory=MacConfig)
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
+    #: maximum local clock offset/drift handed to nodes.
+    max_clock_offset_ms: float = 1e7
+    max_drift_ppm: float = 50.0
+    #: fault injection: node id -> extra per-packet processing delay (ms).
+    slow_nodes: dict[int, float] = field(default_factory=dict)
+    #: traffic model (see :mod:`repro.sim.workloads`); None = periodic
+    #: collection built from ``packet_period_ms`` / ``period_jitter``.
+    workload: object | None = None
+
+
+class Simulator:
+    """Owns the event queue and all per-run state."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.events = EventQueue()
+        self.topology = self._build_topology()
+        self.links = LinkModel(
+            self.topology.positions, config.radio, rng=self.rng
+        )
+        self.channel = Channel()
+        self.routing = RoutingEngine(
+            self.links, sink=self.topology.sink, config=config.routing, rng=self.rng
+        )
+        self._received: list[ReceivedPacket] = []
+        self._ground_truth: dict[PacketId, GroundTruthPacket] = {}
+        self._lost: list[PacketId] = []
+
+        env = _Environment(
+            events=self.events,
+            channel=self.channel,
+            links=self.links,
+            routing=self.routing,
+            rng=self.rng,
+            mac=config.mac,
+            on_lost=self._lost.append,
+            domo_enabled=config.domo_enabled,
+            extra_processing_ms=dict(config.slow_nodes),
+        )
+        self.nodes: dict[int, Node] = {}
+        for node_id in range(config.num_nodes):
+            is_sink = node_id == self.topology.sink
+            clock = (
+                LocalClock()  # the sink is wired to the PC: global timebase
+                if is_sink
+                else LocalClock.random(
+                    self.rng,
+                    max_offset_ms=config.max_clock_offset_ms,
+                    max_drift_ppm=config.max_drift_ppm,
+                )
+            )
+            self.nodes[node_id] = Node(
+                node_id,
+                env,
+                clock,
+                queue_capacity=config.queue_capacity,
+                is_sink=is_sink,
+                on_sink_receive=self._sink_receive if is_sink else None,
+            )
+        env.nodes = self.nodes
+        self.routing.refresh(0.0, force=True)
+
+    def _build_topology(self) -> Topology:
+        cfg = self.config
+        if cfg.placement == "uniform":
+            return uniform_topology(cfg.num_nodes, side_m=cfg.side_m, rng=self.rng)
+        if cfg.placement == "grid":
+            side = int(round(cfg.num_nodes ** 0.5))
+            if side * side != cfg.num_nodes:
+                raise ValueError(
+                    f"grid placement needs a square node count, got {cfg.num_nodes}"
+                )
+            return grid_topology(side)
+        raise ValueError(f"unknown placement {cfg.placement!r}")
+
+    # ------------------------------------------------------------------
+
+    def _sink_receive(self, packet: Packet, now: float) -> None:
+        """Sink-side finalization of a delivered packet."""
+        header = packet.header
+        if self.config.domo_enabled:
+            # Time reconstruction of [7]: t0 = sink arrival - accumulated
+            # e2e delay (measured on node clocks, hence the tiny drift error).
+            generation = now - header.e2e_delay_ms
+        else:
+            generation = packet.generation_time_ms
+        self._received.append(
+            ReceivedPacket(
+                packet_id=packet.packet_id,
+                path=tuple(header.path),
+                generation_time_ms=generation,
+                sink_arrival_ms=now,
+                sum_of_delays_ms=header.sum_of_delays_ms,
+            )
+        )
+        self._ground_truth[packet.packet_id] = GroundTruthPacket(
+            packet_id=packet.packet_id,
+            path=tuple(header.path),
+            arrival_times_ms=tuple(packet.arrival_times_ms),
+        )
+
+    def _schedule_traffic(self) -> None:
+        from repro.sim.workloads import default_workload
+
+        workload = self.config.workload or default_workload(self.config)
+        workload.install(self)
+
+    def run(self) -> TraceBundle:
+        """Run the workload for the configured duration and bundle the trace."""
+        self._schedule_traffic()
+        self.events.run_until(self.config.duration_ms)
+        node_logs = {
+            node_id: list(node.log) for node_id, node in self.nodes.items()
+        }
+        # Reconcile losses: under ack loss a sender may give up on (or a
+        # receiver suppress) a packet whose first copy was delivered
+        # anyway; only packets that never reached the sink count as lost.
+        delivered = set(self._ground_truth)
+        lost_unique: list[PacketId] = []
+        seen: set[PacketId] = set()
+        for packet_id in self._lost:
+            if packet_id in delivered or packet_id in seen:
+                continue
+            seen.add(packet_id)
+            lost_unique.append(packet_id)
+        return TraceBundle(
+            received=list(self._received),
+            ground_truth=dict(self._ground_truth),
+            node_logs=node_logs,
+            lost_packets=lost_unique,
+            sink=self.topology.sink,
+            duration_ms=self.config.duration_ms,
+        )
+
+
+def simulate_network(config: NetworkConfig | None = None, **overrides) -> TraceBundle:
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    Keyword overrides are applied on top of ``config`` (or the defaults),
+    e.g. ``simulate_network(num_nodes=225, seed=7)``.
+    """
+    base = config or NetworkConfig()
+    if overrides:
+        values = {**base.__dict__, **overrides}
+        base = NetworkConfig(**values)
+    return Simulator(base).run()

@@ -1,0 +1,173 @@
+"""Trace records: what the sink knows vs. what actually happened.
+
+The separation here is the heart of the reproduction's honesty:
+
+* :class:`ReceivedPacket` is the **sink-side view** — exactly the four
+  quantities the paper lists at the end of §III.B (generation time, sink
+  arrival time, routing path, sum-of-delays). Domo, MNT and MessageTracing
+  consume only this (MessageTracing additionally gets the per-node event
+  logs it would read from local flash).
+* :class:`GroundTruthPacket` is the **simulator's omniscient view** — true
+  global per-hop arrival times — used solely to score reconstructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.sim.packet import PacketId
+
+
+@dataclass(frozen=True)
+class ReceivedPacket:
+    """Sink-side knowledge about one received packet (paper §III.B)."""
+
+    packet_id: PacketId
+    #: routing path, source .. sink (path reconstruction assumed, §III).
+    path: tuple[int, ...]
+    #: generation time t_0(p), via time reconstruction [7] (global ms).
+    generation_time_ms: float
+    #: arrival time at the sink t_{|p|-1}(p) (global ms).
+    sink_arrival_ms: float
+    #: the 2-byte S(p) field from the packet (ms, quantized).
+    sum_of_delays_ms: int
+
+    @property
+    def path_length(self) -> int:
+        """``|p|`` — number of nodes on the path including the sink."""
+        return len(self.path)
+
+    @property
+    def e2e_delay_ms(self) -> float:
+        """End-to-end delay as the sink computes it."""
+        return self.sink_arrival_ms - self.generation_time_ms
+
+    def node_at(self, hop: int) -> int:
+        """``N_i(p)`` — the node at position ``hop`` of the path."""
+        return self.path[hop]
+
+
+@dataclass(frozen=True)
+class GroundTruthPacket:
+    """True per-hop timing of one packet that reached the sink."""
+
+    packet_id: PacketId
+    path: tuple[int, ...]
+    #: true global arrival time at every node of the path (len == len(path)).
+    arrival_times_ms: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.arrival_times_ms) != len(self.path):
+            raise ValueError("arrival times must align with the path")
+
+    def node_delay_ms(self, hop: int) -> float:
+        """True sojourn time at the ``hop``-th node of the path."""
+        return self.arrival_times_ms[hop + 1] - self.arrival_times_ms[hop]
+
+    def node_delays(self) -> list[float]:
+        """All per-hop sojourn times (length ``len(path) - 1``)."""
+        return [
+            self.arrival_times_ms[i + 1] - self.arrival_times_ms[i]
+            for i in range(len(self.path) - 1)
+        ]
+
+
+@dataclass(frozen=True)
+class NodeLogEntry:
+    """One entry of a node's local send/receive log (for MessageTracing)."""
+
+    kind: str  # "send" | "recv" | "gen"
+    packet_id: PacketId
+    #: local (unsynchronized) timestamp — baselines must not use it as a
+    #: global time; it only orders events *within* one node's log.
+    local_time_ms: float
+
+
+@dataclass
+class TraceBundle:
+    """Everything one simulation run produced.
+
+    ``received`` and ``ground_truth`` are aligned: every received packet has
+    a ground-truth twin under the same :class:`PacketId` key.
+    """
+
+    received: list[ReceivedPacket] = field(default_factory=list)
+    ground_truth: dict[PacketId, GroundTruthPacket] = field(default_factory=dict)
+    #: per-node local event logs (only MessageTracing reads these).
+    node_logs: dict[int, list[NodeLogEntry]] = field(default_factory=dict)
+    #: ids of packets generated but never delivered (loss accounting).
+    lost_packets: list[PacketId] = field(default_factory=list)
+    sink: int = 0
+    duration_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._check_alignment()
+
+    def _check_alignment(self) -> None:
+        for packet in self.received:
+            if packet.packet_id not in self.ground_truth:
+                raise ValueError(
+                    f"received packet {packet.packet_id} lacks ground truth"
+                )
+
+    @property
+    def num_received(self) -> int:
+        return len(self.received)
+
+    @property
+    def delivery_ratio(self) -> float:
+        total = len(self.received) + len(self.lost_packets)
+        return len(self.received) / total if total else 0.0
+
+    def truth_of(self, packet_id: PacketId) -> GroundTruthPacket:
+        return self.ground_truth[packet_id]
+
+    def sorted_by_generation(self) -> list[ReceivedPacket]:
+        """Received packets ordered by generation time (stable by id)."""
+        return sorted(
+            self.received,
+            key=lambda p: (p.generation_time_ms, p.packet_id.source, p.packet_id.seqno),
+        )
+
+    def packets_through(self, node: int) -> list[ReceivedPacket]:
+        """Received packets whose path visits ``node``."""
+        return [p for p in self.received if node in p.path]
+
+    def restrict(self, keep: Iterable[PacketId]) -> "TraceBundle":
+        """A new bundle containing only the given received packets.
+
+        Ground truth and node logs are left intact (ground truth is the
+        scoring oracle; node logs model flash storage that survives trace
+        filtering).
+        """
+        keep_set = set(keep)
+        return TraceBundle(
+            received=[p for p in self.received if p.packet_id in keep_set],
+            ground_truth=self.ground_truth,
+            node_logs=self.node_logs,
+            lost_packets=self.lost_packets,
+            sink=self.sink,
+            duration_ms=self.duration_ms,
+        )
+
+
+def drop_random_packets(
+    trace: TraceBundle, loss_rate: float, rng: np.random.Generator
+) -> TraceBundle:
+    """Remove a random fraction of received packets (paper Fig. 7 protocol).
+
+    The paper evaluates loss robustness by deleting 10–30% of the *received*
+    trace and reconstructing the rest; the deleted packets' ground truth is
+    kept so scoring still works for the survivors.
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss rate {loss_rate} outside [0, 1)")
+    kept = [
+        p.packet_id
+        for p in trace.received
+        if rng.random() >= loss_rate
+    ]
+    return trace.restrict(kept)

@@ -1,0 +1,161 @@
+"""Traffic models: how and when nodes generate data packets.
+
+The paper's evaluation uses periodic collection (every node samples on a
+timer). Real deployments also see Poisson arrivals, periodic *bursts*
+(multi-packet readings) and spatially correlated event traffic; these
+models let the workload-sensitivity benchmark probe how Domo's accuracy
+depends on the arrival process.
+
+A model is installed into a :class:`~repro.sim.simulator.Simulator` and
+schedules ``generate_packet`` calls on its nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PeriodicTraffic:
+    """Every node generates one packet per period, with relative jitter.
+
+    This is the paper's workload (§VI.A): periodic data collection.
+    """
+
+    period_ms: float = 8_000.0
+    jitter: float = 0.2
+
+    def install(self, simulator) -> None:
+        rng = simulator.rng
+        for node in simulator.nodes.values():
+            if node.is_sink:
+                continue
+            first = float(rng.uniform(0.0, self.period_ms))
+            simulator.events.schedule(first, self._make_generator(simulator, node))
+
+    def _make_generator(self, simulator, node):
+        def fire() -> None:
+            node.generate_packet(payload_bytes=simulator.config.payload_bytes)
+            factor = 1.0 + self.jitter * float(
+                simulator.rng.uniform(-1.0, 1.0)
+            )
+            simulator.events.schedule(self.period_ms * factor, fire)
+
+        return fire
+
+
+@dataclass(frozen=True)
+class PoissonTraffic:
+    """Memoryless per-node generation at a given mean rate."""
+
+    mean_interval_ms: float = 8_000.0
+
+    def install(self, simulator) -> None:
+        for node in simulator.nodes.values():
+            if node.is_sink:
+                continue
+            self._schedule_next(simulator, node)
+
+    def _schedule_next(self, simulator, node) -> None:
+        gap = float(simulator.rng.exponential(self.mean_interval_ms))
+
+        def fire() -> None:
+            node.generate_packet(payload_bytes=simulator.config.payload_bytes)
+            self._schedule_next(simulator, node)
+
+        simulator.events.schedule(gap, fire)
+
+
+@dataclass(frozen=True)
+class BurstyTraffic:
+    """Periodic bursts: each firing emits several packets back to back.
+
+    Models multi-fragment sensor readings; stresses the FIFO constraints
+    (many same-source packets queued together).
+    """
+
+    period_ms: float = 16_000.0
+    burst_size: int = 3
+    intra_burst_ms: float = 50.0
+    jitter: float = 0.2
+
+    def install(self, simulator) -> None:
+        rng = simulator.rng
+        for node in simulator.nodes.values():
+            if node.is_sink:
+                continue
+            first = float(rng.uniform(0.0, self.period_ms))
+            simulator.events.schedule(first, self._make_burst(simulator, node))
+
+    def _make_burst(self, simulator, node):
+        def fire() -> None:
+            for k in range(self.burst_size):
+                simulator.events.schedule(
+                    k * self.intra_burst_ms,
+                    lambda: node.generate_packet(
+                        payload_bytes=simulator.config.payload_bytes
+                    ),
+                )
+            factor = 1.0 + self.jitter * float(
+                simulator.rng.uniform(-1.0, 1.0)
+            )
+            simulator.events.schedule(self.period_ms * factor, fire)
+
+        return fire
+
+
+@dataclass(frozen=True)
+class EventTraffic:
+    """Spatially correlated events plus background periodic traffic.
+
+    Events strike uniform random field positions as a Poisson process;
+    every node within ``event_radius_m`` reports immediately (small random
+    offset). A slow periodic background keeps every source observable.
+    """
+
+    event_interval_ms: float = 20_000.0
+    event_radius_m: float = 80.0
+    response_spread_ms: float = 200.0
+    background_period_ms: float = 30_000.0
+
+    def install(self, simulator) -> None:
+        PeriodicTraffic(period_ms=self.background_period_ms, jitter=0.3).install(
+            simulator
+        )
+        self._schedule_event(simulator)
+
+    def _schedule_event(self, simulator) -> None:
+        gap = float(simulator.rng.exponential(self.event_interval_ms))
+
+        def fire() -> None:
+            side = simulator.topology.side_m
+            x, y = simulator.rng.uniform(0.0, side, size=2)
+            positions = simulator.topology.positions
+            for node_id, node in simulator.nodes.items():
+                if node.is_sink:
+                    continue
+                dx = positions[node_id][0] - x
+                dy = positions[node_id][1] - y
+                if math.hypot(dx, dy) <= self.event_radius_m:
+                    offset = float(
+                        simulator.rng.uniform(0.0, self.response_spread_ms)
+                    )
+                    simulator.events.schedule(
+                        offset,
+                        lambda n=node: n.generate_packet(
+                            payload_bytes=simulator.config.payload_bytes
+                        ),
+                    )
+            self._schedule_event(simulator)
+
+        simulator.events.schedule(gap, fire)
+
+
+def default_workload(config) -> PeriodicTraffic:
+    """The paper's periodic workload from a NetworkConfig's fields."""
+    return PeriodicTraffic(
+        period_ms=config.packet_period_ms, jitter=config.period_jitter
+    )

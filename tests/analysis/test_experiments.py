@@ -1,0 +1,56 @@
+"""Tests for the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    evaluate_accuracy,
+    evaluate_bounds,
+    evaluate_displacement,
+)
+from repro.analysis.scenarios import paper_scenario
+from repro.sim import simulate_network
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return simulate_network(
+        paper_scenario(
+            num_nodes=36, duration_ms=40_000.0, packet_period_ms=4_000.0,
+            seed=3,
+        )
+    )
+
+
+def test_scenario_defaults():
+    config = paper_scenario()
+    assert config.num_nodes == 100
+    assert config.placement == "uniform"
+
+
+def test_accuracy_comparison(trace):
+    result = evaluate_accuracy(trace)
+    assert result.domo.count == result.mnt.count
+    assert result.domo.count > 100
+    assert result.domo.mean < result.mnt.mean
+    assert result.domo_time_per_delay_ms > 0.0
+    # per-node table covers every node that forwarded something.
+    assert len(result.per_node_average_delay) > 10
+    node, (true_avg, domo_avg, mnt_avg) = next(
+        iter(result.per_node_average_delay.items())
+    )
+    assert true_avg > 0.0
+
+
+def test_bounds_comparison(trace):
+    result = evaluate_bounds(trace, max_packets=40)
+    assert result.domo.count > 0
+    assert result.mnt.count > result.domo.count  # MNT bounds everything
+    assert result.domo.mean < result.mnt.mean
+    assert result.domo_time_per_bound_ms > 0.0
+
+
+def test_displacement_comparison(trace):
+    result = evaluate_displacement(trace)
+    assert result.domo.count == result.message_tracing.count
+    assert result.domo.mean <= result.message_tracing.mean

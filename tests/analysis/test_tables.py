@@ -1,0 +1,49 @@
+"""Tests for text rendering of results."""
+
+import numpy as np
+
+from repro.analysis.tables import (
+    format_cdf,
+    format_stats_table,
+    format_sweep_table,
+)
+from repro.core.metrics import ErrorStats
+
+
+def _stats(values):
+    return ErrorStats(np.asarray(values, dtype=float))
+
+
+def test_stats_table_contains_methods_and_values():
+    table = format_stats_table(
+        [("Domo", _stats([1.0, 2.0, 3.0])), ("MNT", _stats([4.0, 6.0]))],
+        value_label="error (ms)",
+        thresholds=(4.0,),
+    )
+    assert "Domo" in table
+    assert "MNT" in table
+    assert "error (ms)" in table
+    assert "2.000" in table  # Domo mean
+    assert "5.000" in table  # MNT mean
+
+
+def test_cdf_rendering():
+    text = format_cdf([("Domo", _stats(np.arange(100)))], points=5)
+    assert text.startswith("CDF Domo")
+    assert "@1.00" in text
+
+
+def test_sweep_table_alignment():
+    table = format_sweep_table(
+        ["ratio", "error_ms", "time_ms"],
+        [[0.3, 3.21, 15.0], [0.5, 3.433, 12.0]],
+    )
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "ratio" in lines[0]
+    assert "3.433" in table
+
+
+def test_sweep_table_mixed_types():
+    table = format_sweep_table(["n", "label"], [[100, "ok"], [225, "good"]])
+    assert "100" in table and "good" in table

@@ -1,0 +1,126 @@
+"""Tests for the MNT baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mnt import MntConfig, MntReconstructor
+from repro.core.records import ArrivalKey
+from repro.sim import NetworkConfig, simulate_network
+from repro.sim.packet import PacketId
+
+from tests.core.conftest import bundle_of, make_received
+
+
+def test_local_packet_bracketing_tightens_bounds():
+    """A forwarded packet bracketed by two locals gets non-trivial bounds.
+
+    Node 1 generates l1 (t0=0) and l2 (t0=100); packet x from node 2 is
+    forwarded by node 1 between them (sink order l1 < x < l2).
+    """
+    l1 = make_received(1, 0, (1, 0), (0.0, 8.0))
+    x = make_received(2, 0, (2, 1, 0), (30.0, 40.0, 52.0))
+    l2 = make_received(1, 1, (1, 0), (100.0, 109.0))
+    result = MntReconstructor().reconstruct(bundle_of(l1, x, l2))
+    key = ArrivalKey(PacketId(2, 0), 1)
+    lo, hi = result.intervals[key]
+    # Arrival at node 1 is capped by l2's generation time (FIFO).
+    assert hi <= 100.0
+    # And the true value stays inside.
+    assert lo <= 40.0 <= hi
+
+
+def test_departure_lower_bound_from_predecessor():
+    l1 = make_received(1, 0, (1, 0), (35.0, 44.0))
+    x = make_received(2, 0, (2, 1, 0), (30.0, 45.0, 60.0))
+    result = MntReconstructor().reconstruct(bundle_of(l1, x))
+    # x reached the sink after l1, so x departed node 1 after l1 did:
+    # t_2(x) >= t0(l1) + omega = 36.
+    key = ArrivalKey(PacketId(2, 0), 2)
+    lo, hi = result.intervals[key]
+    assert lo >= 36.0
+    assert lo <= 60.0 <= hi  # t_2(x) is the (known) sink arrival
+
+
+def test_without_local_packets_bounds_stay_trivial():
+    # Node 9 forwards x but never originates packets itself.
+    x = make_received(2, 0, (2, 9, 0), (0.0, 10.0, 20.0))
+    result = MntReconstructor().reconstruct(bundle_of(x))
+    key = ArrivalKey(PacketId(2, 0), 1)
+    lo, hi = result.intervals[key]
+    assert lo == pytest.approx(1.0)
+    assert hi == pytest.approx(19.0)
+
+
+def test_estimates_are_midpoints():
+    x = make_received(2, 0, (2, 9, 0), (0.0, 10.0, 20.0))
+    result = MntReconstructor().reconstruct(bundle_of(x))
+    times = result.estimated_arrival_times(PacketId(2, 0))
+    assert times[0] == 0.0
+    assert times[1] == pytest.approx(10.0)  # midpoint of (1, 19)
+    assert times[2] == 20.0
+
+
+def test_delay_helpers():
+    x = make_received(2, 0, (2, 9, 0), (0.0, 10.0, 20.0))
+    result = MntReconstructor().reconstruct(bundle_of(x))
+    delays = result.estimated_delays(PacketId(2, 0))
+    assert len(delays) == 2
+    assert sum(delays) == pytest.approx(20.0)
+    widths = result.delay_widths()
+    assert len(widths) == 2
+
+
+@pytest.fixture(scope="module")
+def sim_trace():
+    return simulate_network(
+        NetworkConfig(
+            num_nodes=25,
+            placement="grid",
+            duration_ms=40_000.0,
+            packet_period_ms=3_000.0,
+            seed=11,
+        )
+    )
+
+
+def test_mostly_sound_on_simulated_trace(sim_trace):
+    """MNT's ordering heuristic is not exact, but misses must be rare."""
+    result = MntReconstructor().reconstruct(sim_trace)
+    misses = 0
+    total = 0
+    for p in sim_trace.received:
+        truth = sim_trace.truth_of(p.packet_id)
+        for hop in range(1, p.path_length - 1):
+            lo, hi = result.intervals[ArrivalKey(p.packet_id, hop)]
+            total += 1
+            if not lo - 2.0 <= truth.arrival_times_ms[hop] <= hi + 2.0:
+                misses += 1
+    assert total > 100
+    assert misses / total < 0.02
+
+
+def test_mnt_less_accurate_than_domo(sim_trace):
+    """The paper's headline comparison, in miniature."""
+    from repro.core.pipeline import DomoConfig, DomoReconstructor
+
+    mnt = MntReconstructor().reconstruct(sim_trace)
+    domo = DomoReconstructor(DomoConfig()).estimate(sim_trace)
+    mnt_errors, domo_errors = [], []
+    for p in sim_trace.received:
+        truth = sim_trace.truth_of(p.packet_id).node_delays()
+        mnt_errors.extend(
+            abs(a - b)
+            for a, b in zip(mnt.estimated_delays(p.packet_id), truth)
+        )
+        domo_errors.extend(
+            abs(a - b) for a, b in zip(domo.delays_of(p.packet_id), truth)
+        )
+    assert np.mean(domo_errors) < np.mean(mnt_errors)
+
+
+def test_refinement_rounds_configurable(sim_trace):
+    one = MntReconstructor(MntConfig(refinement_rounds=1)).reconstruct(sim_trace)
+    three = MntReconstructor(MntConfig(refinement_rounds=3)).reconstruct(sim_trace)
+    w1 = np.mean(one.delay_widths())
+    w3 = np.mean(three.delay_widths())
+    assert w3 <= w1 + 1e-9

@@ -1,0 +1,114 @@
+"""Tests for candidate set computation (C(p), C*(p))."""
+
+import pytest
+
+from repro.core.candidate import CandidateSets, compute_candidate_sets
+from repro.core.records import TraceIndex
+from repro.sim.packet import PacketId
+
+from tests.core.conftest import bundle_of, make_received
+
+
+def _sets_for(bundle, source, seqno):
+    index = TraceIndex(list(bundle.received))
+    packet = index.by_id[PacketId(source, seqno)]
+    return compute_candidate_sets(index, packet)
+
+
+def test_first_local_packet_has_no_sets(chain_trace):
+    assert _sets_for(chain_trace, 1, 0) is None
+
+
+def test_guaranteed_subset_of_possible():
+    # forwarded packet fully inside [t0(q), t0(p)]: in C and C*.
+    q = make_received(1, 0, (1, 0), (0.0, 10.0))
+    x = make_received(2, 0, (2, 1, 0), (20.0, 30.0, 40.0))
+    p = make_received(1, 1, (1, 0), (100.0, 110.0))
+    sets = _sets_for(bundle_of(q, x, p), 1, 1)
+    assert sets is not None
+    assert [c.packet_id for c, _ in sets.possible] == [PacketId(2, 0)]
+    assert [c.packet_id for c, _ in sets.guaranteed] == [PacketId(2, 0)]
+    assert sets.anchored
+
+
+def test_straggler_is_possible_but_not_guaranteed():
+    # x generated before q but delivered between q and p: may or may not
+    # have departed the source before q did -> C only.
+    q = make_received(1, 0, (1, 0), (50.0, 60.0))
+    x = make_received(2, 0, (2, 1, 0), (10.0, 70.0, 80.0))
+    p = make_received(1, 1, (1, 0), (100.0, 110.0))
+    sets = _sets_for(bundle_of(q, x, p), 1, 1)
+    assert [c.packet_id for c, _ in sets.possible] == [PacketId(2, 0)]
+    assert sets.guaranteed == []
+
+
+def test_late_delivery_excluded_from_guaranteed():
+    # x delivered after t0(p): its delay may fall outside S(p)'s window.
+    q = make_received(1, 0, (1, 0), (0.0, 10.0))
+    x = make_received(2, 0, (2, 1, 0), (20.0, 90.0, 120.0))
+    p = make_received(1, 1, (1, 0), (100.0, 110.0))
+    sets = _sets_for(bundle_of(q, x, p), 1, 1)
+    assert [c.packet_id for c, _ in sets.possible] == [PacketId(2, 0)]
+    assert sets.guaranteed == []
+
+
+def test_packet_generated_after_p_excluded():
+    q = make_received(1, 0, (1, 0), (0.0, 10.0))
+    x = make_received(2, 0, (2, 1, 0), (150.0, 160.0, 170.0))
+    p = make_received(1, 1, (1, 0), (100.0, 110.0))
+    sets = _sets_for(bundle_of(q, x, p), 1, 1)
+    assert sets.possible == []
+
+
+def test_packet_delivered_before_q_excluded():
+    # x came and went before q even existed.
+    x = make_received(2, 0, (2, 1, 0), (0.0, 5.0, 10.0))
+    q = make_received(1, 0, (1, 0), (50.0, 60.0))
+    p = make_received(1, 1, (1, 0), (100.0, 110.0))
+    sets = _sets_for(bundle_of(x, q, p), 1, 1)
+    assert sets.possible == []
+
+
+def test_q_and_p_excluded_from_sets():
+    q = make_received(1, 0, (1, 0), (0.0, 10.0))
+    p = make_received(1, 1, (1, 0), (100.0, 110.0))
+    sets = _sets_for(bundle_of(q, p), 1, 1)
+    ids = {c.packet_id for c, _ in sets.possible}
+    assert PacketId(1, 0) not in ids
+    assert PacketId(1, 1) not in ids
+
+
+def test_packets_not_through_source_excluded():
+    q = make_received(1, 0, (1, 0), (0.0, 10.0))
+    x = make_received(3, 0, (3, 2, 0), (20.0, 30.0, 40.0))  # avoids node 1
+    p = make_received(1, 1, (1, 0), (100.0, 110.0))
+    sets = _sets_for(bundle_of(q, x, p), 1, 1)
+    assert sets.possible == []
+
+
+def test_seqno_gap_marks_unanchored():
+    q = make_received(1, 0, (1, 0), (0.0, 10.0))
+    p = make_received(1, 2, (1, 0), (100.0, 110.0))  # seqno 1 lost
+    sets = _sets_for(bundle_of(q, p), 1, 2)
+    assert sets is not None
+    assert not sets.anchored
+
+
+def test_candidate_hop_is_source_position():
+    q = make_received(1, 0, (1, 0), (0.0, 10.0))
+    x = make_received(3, 0, (3, 1, 0), (20.0, 30.0, 40.0))
+    p = make_received(1, 1, (1, 0), (100.0, 110.0))
+    sets = _sets_for(bundle_of(q, x, p), 1, 1)
+    (candidate, hop), = sets.possible
+    assert candidate.packet_id == PacketId(3, 0)
+    assert hop == 1  # node 1 is position 1 of x's path
+
+
+def test_subset_invariant_enforced():
+    q, tq = make_received(1, 0, (1, 0), (0.0, 10.0))
+    x, tx = make_received(2, 0, (2, 1, 0), (20.0, 30.0, 40.0))
+    p, tp = make_received(1, 1, (1, 0), (100.0, 110.0))
+    with pytest.raises(ValueError):
+        CandidateSets(
+            packet=p, previous_local=q, possible=[], guaranteed=[(x, 1)]
+        )

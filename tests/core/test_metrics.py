@@ -1,0 +1,92 @@
+"""Tests for the accuracy metrics of §VI.A."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    ErrorStats,
+    average_displacement,
+    bound_width_stats,
+    displacement_per_node,
+    estimation_error_stats,
+)
+
+
+def test_paper_displacement_example():
+    """The worked example in §VI.A: (1+1+2+0+2)/5 = 1.2."""
+    truth = ["a", "b", "c", "d", "e"]
+    reconstructed = ["b", "a", "e", "d", "c"]
+    assert average_displacement(reconstructed, truth) == pytest.approx(1.2)
+
+
+def test_displacement_zero_for_identical():
+    seq = list(range(10))
+    assert average_displacement(seq, seq) == 0.0
+
+
+def test_displacement_maximal_for_reversal():
+    truth = [0, 1, 2, 3]
+    assert average_displacement(truth[::-1], truth) == pytest.approx(2.0)
+
+
+def test_displacement_validates_inputs():
+    with pytest.raises(ValueError):
+        average_displacement([1, 2], [1, 2, 3])
+    with pytest.raises(ValueError):
+        average_displacement([1, 1, 2], [1, 2, 3])
+    with pytest.raises(ValueError):
+        average_displacement([1, 2, 4], [1, 2, 3])
+
+
+@settings(max_examples=50, deadline=None)
+@given(perm_seed=st.integers(0, 10_000), n=st.integers(1, 30))
+def test_displacement_symmetry(perm_seed, n):
+    """Displacement(a, b) == Displacement(b, a) for permutations."""
+    rng = np.random.default_rng(perm_seed)
+    truth = list(range(n))
+    other = list(rng.permutation(n))
+    assert average_displacement(other, truth) == pytest.approx(
+        average_displacement(truth, other)
+    )
+
+
+def test_error_stats_summaries():
+    stats = estimation_error_stats([-1.0, 2.0, 3.0, -4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.median == pytest.approx(2.5)
+    assert stats.fraction_below(4.0) == pytest.approx(0.75)
+    assert stats.percentile(100) == pytest.approx(4.0)
+
+
+def test_error_stats_empty():
+    stats = estimation_error_stats([])
+    assert np.isnan(stats.mean)
+    assert stats.cdf() == []
+
+
+def test_cdf_is_monotone():
+    rng = np.random.default_rng(0)
+    stats = bound_width_stats(rng.exponential(5.0, size=500))
+    cdf = stats.cdf(points=20)
+    values = [v for v, _ in cdf]
+    fractions = [f for _, f in cdf]
+    assert values == sorted(values)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_cdf_small_input_uses_all_points():
+    stats = bound_width_stats([1.0, 2.0, 3.0])
+    assert len(stats.cdf(points=50)) == 3
+
+
+def test_displacement_per_node_pools():
+    truth = {1: ["a", "b", "c"], 2: ["x", "y"], 3: ["solo"]}
+    reconstructed = {1: ["b", "a", "c"], 2: ["x", "y"], 3: ["solo"]}
+    stats = displacement_per_node(reconstructed, truth)
+    # node 3 skipped (fewer than 2 events); nodes 1, 2 pooled.
+    assert stats.count == 2
+    assert stats.mean == pytest.approx((2.0 / 3.0 + 0.0) / 2.0)

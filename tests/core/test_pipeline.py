@@ -1,0 +1,136 @@
+"""End-to-end tests of the DomoReconstructor public API."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    DomoConfig,
+    DomoReconstructor,
+)
+from repro.core.records import ArrivalKey
+from repro.sim import NetworkConfig, simulate_network
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return simulate_network(
+        NetworkConfig(
+            num_nodes=25,
+            placement="grid",
+            duration_ms=40_000.0,
+            packet_period_ms=3_000.0,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def estimate(trace):
+    return DomoReconstructor(DomoConfig()).estimate(trace)
+
+
+def test_config_validates_fifo_mode():
+    with pytest.raises(ValueError):
+        DomoConfig(fifo_mode="quantum")
+
+
+def test_estimate_covers_every_received_packet(trace, estimate):
+    assert set(estimate.arrival_times) == {
+        p.packet_id for p in trace.received
+    }
+    for p in trace.received:
+        assert len(estimate.arrival_times[p.packet_id]) == p.path_length
+
+
+def test_estimate_endpoints_match_knowns(trace, estimate):
+    for p in trace.received:
+        times = estimate.arrival_times[p.packet_id]
+        assert times[0] == pytest.approx(p.generation_time_ms)
+        assert times[-1] == pytest.approx(p.sink_arrival_ms)
+
+
+def test_estimated_delays_accurate(trace, estimate):
+    """Reconstruction error in the paper's ballpark (a few ms)."""
+    errors = []
+    for p in trace.received:
+        truth = trace.truth_of(p.packet_id).node_delays()
+        reconstructed = estimate.delays_of(p.packet_id)
+        errors.extend(abs(a - b) for a, b in zip(reconstructed, truth))
+    mean_error = float(np.mean(errors))
+    assert mean_error < 6.0, f"mean error {mean_error:.2f} ms too large"
+    assert float(np.mean(np.asarray(errors) < 4.0)) > 0.6
+
+
+def test_estimate_windows_used(trace, estimate):
+    assert estimate.windows_used >= 2
+    assert estimate.stats["failed_windows"] == 0
+    assert estimate.time_per_delay_ms > 0.0
+
+
+def test_estimates_within_trivial_intervals(trace, estimate):
+    for p in trace.received:
+        times = estimate.arrival_times[p.packet_id]
+        for hop in range(1, p.path_length - 1):
+            lo = p.generation_time_ms + hop * 1.0
+            hi = p.sink_arrival_ms - (p.path_length - 1 - hop) * 1.0
+            # ADMM satisfies the box only up to its primal tolerance,
+            # which scales with the window's absolute times (~0.1 ms).
+            assert lo - 0.5 <= times[hop] <= hi + 0.5
+
+
+def test_bounds_api(trace):
+    domo = DomoReconstructor(DomoConfig(graph_cut_size=10_000))
+    wanted = [p.packet_id for p in trace.received[:20]]
+    bounds = domo.bounds(trace, packet_ids=wanted)
+    assert bounds.bounds  # some interior hops exist among the first 20
+    for key, result in bounds.bounds.items():
+        assert key.packet_id in wanted
+        truth = trace.truth_of(key.packet_id).arrival_times_ms[key.hop]
+        assert result.lower - 1e-5 <= truth <= result.upper + 1e-5
+    widths = [r.width for r in bounds.bounds.values()]
+    assert float(np.mean(widths)) < 60.0
+
+
+def test_delay_bounds_consistent(trace):
+    domo = DomoReconstructor(DomoConfig())
+    wanted = [p.packet_id for p in trace.received[:10]]
+    bounds = domo.bounds(trace, packet_ids=wanted)
+    for pid in wanted:
+        packet = bounds.index.by_id[pid]
+        db = bounds.delay_bounds(pid)
+        assert len(db) == packet.path_length - 1
+        truth = trace.truth_of(pid).node_delays()
+        for (lo, hi), true_delay in zip(db, truth):
+            # Bounds live on the sink's reconstructed timeline, which
+            # differs from ground truth by the clock-drift error of the
+            # e2e-accumulation time reconstruction (< 2 ms, see §III).
+            assert lo - 2.0 <= true_delay <= hi + 2.0
+
+
+def test_fifo_mode_none_still_works(trace):
+    domo = DomoReconstructor(DomoConfig(fifo_mode="none"))
+    estimate = domo.estimate(trace.received[:150])
+    assert estimate.arrival_times
+
+
+def test_sdr_mode_small_trace(trace):
+    config = DomoConfig(fifo_mode="sdr", target_window_packets=15)
+    domo = DomoReconstructor(config)
+    estimate = domo.estimate(trace.received[:60])
+    assert estimate.stats["sdr_windows"] > 0
+    errors = []
+    for p in trace.received[:60]:
+        truth = trace.truth_of(p.packet_id).node_delays()
+        errors.extend(
+            abs(a - b)
+            for a, b in zip(estimate.delays_of(p.packet_id), truth)
+        )
+    assert float(np.mean(errors)) < 10.0
+
+
+def test_accepts_trace_bundle_and_plain_list(trace):
+    domo = DomoReconstructor()
+    few = trace.received[:30]
+    from_bundle = domo.estimate(trace.restrict([p.packet_id for p in few]))
+    from_list = domo.estimate(few)
+    assert set(from_bundle.arrival_times) == set(from_list.arrival_times)

@@ -1,0 +1,79 @@
+"""Tests for the improved overlapping time-window planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import plan_windows
+
+
+def test_single_window_when_span_covers_everything():
+    windows = plan_windows([0.0, 10.0, 20.0], window_span_ms=1000.0)
+    assert len(windows) == 1
+    w = windows[0]
+    assert w.keep_start_ms == -np.inf
+    assert w.keep_end_ms == np.inf
+
+
+def test_keep_regions_tile_the_timeline():
+    t0s = list(np.linspace(0.0, 10_000.0, 200))
+    windows = plan_windows(t0s, window_span_ms=1_000.0, effective_ratio=0.5)
+    for t in t0s:
+        keepers = [w for w in windows if w.keeps(t)]
+        assert len(keepers) == 1, f"t={t} kept by {len(keepers)} windows"
+        # The keeping window must also contain the packet for solving.
+        assert keepers[0].contains(t)
+
+
+def test_windows_overlap():
+    t0s = list(np.linspace(0.0, 10_000.0, 100))
+    windows = plan_windows(t0s, window_span_ms=2_000.0, effective_ratio=0.5)
+    assert len(windows) >= 2
+    for a, b in zip(windows, windows[1:]):
+        assert b.start_ms < a.end_ms, "consecutive windows must overlap"
+
+
+def test_smaller_ratio_means_more_windows():
+    t0s = list(np.linspace(0.0, 20_000.0, 100))
+    few = plan_windows(t0s, window_span_ms=2_000.0, effective_ratio=0.9)
+    many = plan_windows(t0s, window_span_ms=2_000.0, effective_ratio=0.3)
+    assert len(many) > len(few)
+
+
+def test_ratio_one_means_disjoint_windows():
+    t0s = list(np.linspace(0.0, 9_999.0, 50))
+    windows = plan_windows(t0s, window_span_ms=2_000.0, effective_ratio=1.0)
+    for a, b in zip(windows, windows[1:]):
+        assert b.start_ms == pytest.approx(a.end_ms)
+
+
+def test_empty_input():
+    assert plan_windows([], 100.0) == []
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        plan_windows([0.0], window_span_ms=100.0, effective_ratio=0.0)
+    with pytest.raises(ValueError):
+        plan_windows([0.0], window_span_ms=100.0, effective_ratio=1.5)
+    with pytest.raises(ValueError):
+        plan_windows([0.0], window_span_ms=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(2, 60),
+    span=st.floats(10.0, 5_000.0),
+    ratio=st.floats(0.1, 1.0),
+    seed=st.integers(0, 1000),
+)
+def test_every_packet_kept_exactly_once(n, span, ratio, seed):
+    """Property: keep regions partition any generation-time set."""
+    rng = np.random.default_rng(seed)
+    t0s = sorted(rng.uniform(0.0, 30_000.0, size=n).tolist())
+    windows = plan_windows(t0s, window_span_ms=span, effective_ratio=ratio)
+    for t in t0s:
+        keepers = [w for w in windows if w.keeps(t)]
+        assert len(keepers) == 1
+        assert keepers[0].contains(t)

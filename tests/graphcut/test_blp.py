@@ -1,0 +1,82 @@
+"""Tests for balanced label propagation refinement."""
+
+import numpy as np
+
+from repro.graphcut.blp import refine_two_way
+from repro.graphcut.graph import ConstraintGraph
+
+
+def _two_cliques(k=6, bridge_edges=1):
+    """Two k-cliques joined by a few bridge edges: an obvious best cut."""
+    g = ConstraintGraph()
+    left = [f"L{i}" for i in range(k)]
+    right = [f"R{i}" for i in range(k)]
+    g.add_clique(left)
+    g.add_clique(right)
+    for i in range(bridge_edges):
+        g.add_edge(left[i], right[i])
+    return g, set(left), set(right)
+
+
+def test_refine_fixes_a_bad_split():
+    g, left, right = _two_cliques()
+    # Start with a deliberately wrong partition: one right vertex swapped in.
+    bad = (left - {"L0"}) | {"R0"}
+    result = refine_two_way(g, bad, size_bounds=(5, 7))
+    assert result.final_cut <= result.initial_cut
+    assert result.final_cut <= g.cut_weight(left)
+
+
+def test_refine_keeps_perfect_split():
+    g, left, _ = _two_cliques(bridge_edges=1)
+    result = refine_two_way(g, left)
+    assert result.inside == left
+    assert result.final_cut == 1
+
+
+def test_frozen_vertices_never_move():
+    g, left, right = _two_cliques()
+    bad = (left - {"L0"}) | {"R0"}
+    result = refine_two_way(
+        g, bad, size_bounds=(5, 7), frozen={"R0"}
+    )
+    assert "R0" in result.inside
+
+
+def test_size_bounds_respected():
+    g, left, right = _two_cliques(k=8)
+    start = set(list(left)[:4]) | set(list(right)[:4])
+    result = refine_two_way(g, start, size_bounds=(7, 9))
+    assert 7 <= len(result.inside) <= 9
+
+
+def test_cut_never_increases():
+    rng = np.random.default_rng(0)
+    g = ConstraintGraph()
+    n = 40
+    for _ in range(120):
+        a, b = rng.integers(0, n, size=2)
+        g.add_edge(int(a), int(b))
+    for trial in range(5):
+        inside = {int(v) for v in rng.choice(n, size=20, replace=False)
+                  if v in set(g.vertices())}
+        inside = {v for v in inside if v in g}
+        if not inside:
+            continue
+        result = refine_two_way(g, inside)
+        assert result.final_cut <= result.initial_cut
+
+
+def test_empty_boundary_terminates_immediately():
+    g = ConstraintGraph()
+    g.add_clique(["a", "b", "c"])
+    g.add_vertex("iso")
+    result = refine_two_way(g, {"a", "b", "c"}, size_bounds=(2, 4))
+    assert result.final_cut == 0
+
+
+def test_input_set_not_mutated():
+    g, left, _ = _two_cliques()
+    original = set(left)
+    refine_two_way(g, left)
+    assert left == original

@@ -1,0 +1,113 @@
+"""Tests for the constraint graph structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphcut.graph import ConstraintGraph
+
+
+def _path_graph(n):
+    g = ConstraintGraph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def test_counts():
+    g = _path_graph(5)
+    assert g.num_vertices == 5
+    assert g.num_edges == 4
+
+
+def test_add_edge_accumulates_weight():
+    g = ConstraintGraph()
+    g.add_edge("a", "b")
+    g.add_edge("a", "b", weight=2)
+    assert g.neighbors("a")["b"] == 3
+    assert g.neighbors("b")["a"] == 3
+    assert g.num_edges == 1
+
+
+def test_self_loops_ignored():
+    g = ConstraintGraph()
+    g.add_edge("a", "a")
+    assert g.num_edges == 0
+
+
+def test_add_clique():
+    g = ConstraintGraph()
+    g.add_clique(["a", "b", "c"])
+    assert g.num_edges == 3
+    g.add_clique(["a", "b", "c"])  # reinforces weights
+    assert g.neighbors("a")["b"] == 2
+
+
+def test_add_clique_dedupes_members():
+    g = ConstraintGraph()
+    g.add_clique(["a", "a", "b"])
+    assert g.num_edges == 1
+    assert g.neighbors("a")["b"] == 1
+
+
+def test_isolated_vertex():
+    g = ConstraintGraph()
+    g.add_vertex("lonely")
+    assert "lonely" in g
+    assert g.neighbors("lonely") == {}
+    assert g.degree("lonely") == 0
+
+
+def test_degree_is_weighted():
+    g = ConstraintGraph()
+    g.add_edge("a", "b", weight=2)
+    g.add_edge("a", "c", weight=3)
+    assert g.degree("a") == 5
+
+
+def test_bfs_ball_order_and_cap():
+    g = _path_graph(10)
+    ball = g.bfs_ball(5, 5)
+    assert ball[0] == 5
+    assert len(ball) == 5
+    assert set(ball) <= set(range(10))
+    # BFS from the middle reaches both sides before distance-2 vertices.
+    assert set(ball[1:3]) == {4, 6}
+
+
+def test_bfs_ball_whole_component():
+    g = _path_graph(4)
+    assert set(g.bfs_ball(0, 100)) == {0, 1, 2, 3}
+
+
+def test_bfs_ball_missing_vertex():
+    g = _path_graph(3)
+    with pytest.raises(KeyError):
+        g.bfs_ball(99, 5)
+
+
+def test_cut_weight():
+    g = _path_graph(6)
+    assert g.cut_weight({0, 1, 2}) == 1  # only edge (2, 3) crosses
+    assert g.cut_weight({0, 2, 4}) == 5  # every edge crosses
+    assert g.cut_weight(set(g.vertices())) == 0
+    assert g.cut_weight(set()) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        max_size=40,
+    ),
+    inside_bits=st.integers(0, 2 ** 16 - 1),
+)
+def test_cut_weight_symmetry(edges, inside_bits):
+    """cut(S) == cut(complement of S) for any vertex subset."""
+    g = ConstraintGraph()
+    for a, b in edges:
+        g.add_edge(a, b)
+    vertices = set(g.vertices())
+    inside = {v for v in vertices if inside_bits >> v & 1}
+    outside = vertices - inside
+    assert g.cut_weight(inside) == g.cut_weight(outside)

@@ -1,0 +1,106 @@
+"""Tests for repro.optim.linalg (PSD projection and helpers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.optim.linalg import (
+    is_psd,
+    mat_symmetric,
+    project_psd,
+    symmetrize,
+    vec_symmetric,
+)
+
+
+def test_symmetrize_returns_symmetric_part():
+    m = np.array([[1.0, 2.0], [0.0, 3.0]])
+    s = symmetrize(m)
+    assert np.allclose(s, s.T)
+    assert np.allclose(s, [[1.0, 1.0], [1.0, 3.0]])
+
+
+def test_project_psd_leaves_psd_matrix_unchanged():
+    m = np.array([[2.0, 0.5], [0.5, 1.0]])
+    assert np.allclose(project_psd(m), m)
+
+
+def test_project_psd_clips_negative_eigenvalues():
+    m = np.diag([3.0, -2.0])
+    projected = project_psd(m)
+    assert np.allclose(projected, np.diag([3.0, 0.0]))
+
+
+def test_project_psd_known_rank_one_case():
+    # Eigenvalues of [[0, 1], [1, 0]] are +-1; projection keeps the +1 part.
+    m = np.array([[0.0, 1.0], [1.0, 0.0]])
+    projected = project_psd(m)
+    assert np.allclose(projected, 0.5 * np.ones((2, 2)))
+
+
+def test_is_psd():
+    assert is_psd(np.eye(3))
+    assert is_psd(np.zeros((2, 2)))
+    assert not is_psd(np.diag([1.0, -1.0]))
+
+
+def test_vec_mat_roundtrip():
+    m = np.array([[1.0, 2.0], [2.0, 5.0]])
+    assert np.allclose(mat_symmetric(vec_symmetric(m), 2), m)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (4, 4),
+        elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_project_psd_output_is_psd(matrix):
+    projected = project_psd(matrix)
+    assert is_psd(projected, tol=1e-7)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (3, 3),
+        elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_project_psd_is_idempotent(matrix):
+    once = project_psd(matrix)
+    twice = project_psd(once)
+    assert np.allclose(once, twice, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (3, 3),
+        elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_projection_is_closest_among_samples(matrix):
+    """The projection is at least as close as a few other PSD candidates."""
+    sym = symmetrize(matrix)
+    projected = project_psd(sym)
+    distance = np.linalg.norm(sym - projected)
+    for candidate in (np.zeros((3, 3)), np.eye(3), 2.0 * np.eye(3)):
+        assert distance <= np.linalg.norm(sym - candidate) + 1e-9
+
+
+def test_project_psd_rejects_nothing_but_handles_asymmetric_input():
+    m = np.array([[0.0, 4.0], [0.0, 0.0]])
+    projected = project_psd(m)
+    assert is_psd(projected)
+
+
+@pytest.mark.parametrize("dim", [1, 2, 5])
+def test_identity_is_fixed_point(dim):
+    assert np.allclose(project_psd(np.eye(dim)), np.eye(dim))

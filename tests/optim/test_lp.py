@@ -1,0 +1,181 @@
+"""Tests for the LP front end (HiGHS) and the Big-M simplex fallback."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.lp import LinearProgram, solve_lp, solve_lp_simplex
+from repro.optim.result import SolverStatus
+
+INF = float("inf")
+
+
+def _lp(c, A, row_lower, row_upper, x_lower=None, x_upper=None):
+    return LinearProgram(
+        c=np.asarray(c, dtype=float),
+        A=sp.csr_matrix(np.atleast_2d(A)),
+        row_lower=np.asarray(row_lower, dtype=float),
+        row_upper=np.asarray(row_upper, dtype=float),
+        x_lower=None if x_lower is None else np.asarray(x_lower, dtype=float),
+        x_upper=None if x_upper is None else np.asarray(x_upper, dtype=float),
+    )
+
+
+BOTH_SOLVERS = pytest.mark.parametrize("solve", [solve_lp, solve_lp_simplex])
+
+
+@BOTH_SOLVERS
+def test_simple_minimization(solve):
+    # min x s.t. 1 <= x <= 4.
+    problem = _lp([1.0], [[1.0]], [1.0], [4.0])
+    result = solve(problem)
+    assert result.status is SolverStatus.OPTIMAL
+    assert result.objective == pytest.approx(1.0, abs=1e-6)
+
+
+@BOTH_SOLVERS
+def test_simple_maximization_via_negation(solve):
+    # max x == min -x s.t. x <= 4.
+    problem = _lp([-1.0], [[1.0]], [1.0], [4.0])
+    result = solve(problem)
+    assert result.status is SolverStatus.OPTIMAL
+    assert result.x[0] == pytest.approx(4.0, abs=1e-6)
+
+
+@BOTH_SOLVERS
+def test_classic_two_variable_lp(solve):
+    # max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0 -> (2, 6).
+    problem = _lp(
+        [-3.0, -5.0],
+        [[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]],
+        [-INF, -INF, -INF],
+        [4.0, 12.0, 18.0],
+        x_lower=[0.0, 0.0],
+    )
+    result = solve(problem)
+    assert result.status is SolverStatus.OPTIMAL
+    assert np.allclose(result.x, [2.0, 6.0], atol=1e-6)
+    assert result.objective == pytest.approx(-36.0, abs=1e-6)
+
+
+@BOTH_SOLVERS
+def test_equality_row(solve):
+    # min x + y s.t. x + y == 3, x,y in [0, 3].
+    problem = _lp(
+        [1.0, 1.0],
+        [[1.0, 1.0]],
+        [3.0],
+        [3.0],
+        x_lower=[0.0, 0.0],
+        x_upper=[3.0, 3.0],
+    )
+    result = solve(problem)
+    assert result.status is SolverStatus.OPTIMAL
+    assert result.objective == pytest.approx(3.0, abs=1e-6)
+
+
+@BOTH_SOLVERS
+def test_infeasible_detected(solve):
+    # x >= 2 and x <= 1.
+    problem = _lp([1.0], [[1.0], [1.0]], [2.0, -INF], [INF, 1.0])
+    result = solve(problem)
+    assert result.status is SolverStatus.INFEASIBLE
+
+
+@BOTH_SOLVERS
+def test_unbounded_detected(solve):
+    # min -x, x >= 0, no upper bound.
+    problem = _lp([-1.0], [[1.0]], [0.0], [INF])
+    result = solve(problem)
+    assert result.status is SolverStatus.UNBOUNDED
+
+
+def test_free_variables_in_simplex():
+    # min x, -5 <= x + y <= 5, y == 2, x free -> x = -7.
+    problem = _lp(
+        [1.0, 0.0],
+        [[1.0, 1.0], [0.0, 1.0]],
+        [-5.0, 2.0],
+        [5.0, 2.0],
+    )
+    reference = solve_lp(problem)
+    ours = solve_lp_simplex(problem)
+    assert ours.status is SolverStatus.OPTIMAL
+    assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+    assert ours.x[0] == pytest.approx(-7.0, abs=1e-6)
+
+
+def test_degenerate_lp_terminates():
+    """Bland's rule must terminate on a degenerate problem."""
+    problem = _lp(
+        [-0.75, 150.0, -0.02, 6.0],
+        [
+            [0.25, -60.0, -0.04, 9.0],
+            [0.5, -90.0, -0.02, 3.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ],
+        [-INF, -INF, -INF],
+        [0.0, 0.0, 1.0],
+        x_lower=[0.0, 0.0, 0.0, 0.0],
+    )
+    ours = solve_lp_simplex(problem)
+    reference = solve_lp(problem)
+    assert ours.status is SolverStatus.OPTIMAL
+    assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+
+
+def test_bound_style_problem_matches_between_solvers():
+    """Shape of Domo's bound LPs: chains of order constraints."""
+    # t0 <= t1 - 1 <= t2 - 2, t0 = 0, t2 = 10; min/max t1.
+    A = [[-1.0, 1.0, 0.0], [0.0, -1.0, 1.0]]
+    row_lower = [1.0, 1.0]
+    row_upper = [INF, INF]
+    for c, expected in [([0.0, 1.0, 0.0], 1.0), ([0.0, -1.0, 0.0], -9.0)]:
+        problem = _lp(
+            c,
+            A,
+            row_lower,
+            row_upper,
+            x_lower=[0.0, -INF, 10.0],
+            x_upper=[0.0, INF, 10.0],
+        )
+        fast = solve_lp(problem)
+        slow = solve_lp_simplex(problem)
+        assert fast.status is SolverStatus.OPTIMAL
+        assert slow.status is SolverStatus.OPTIMAL
+        assert fast.objective == pytest.approx(expected, abs=1e-6)
+        assert slow.objective == pytest.approx(expected, abs=1e-6)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        _lp([1.0, 2.0], [[1.0]], [0.0], [1.0])
+    with pytest.raises(ValueError):
+        _lp([1.0], [[1.0]], [0.0, 1.0], [1.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    c=st.lists(st.floats(-3, 3, allow_nan=False), min_size=2, max_size=3),
+    seed=st.integers(0, 10_000),
+)
+def test_simplex_agrees_with_highs_on_random_bounded_lps(c, seed):
+    """Random LPs over a box with one coupling row: both solvers agree."""
+    n = len(c)
+    rng = np.random.default_rng(seed)
+    coupling = rng.uniform(-1.0, 1.0, size=(1, n))
+    problem = _lp(
+        c,
+        coupling,
+        [-2.0],
+        [2.0],
+        x_lower=[-1.0] * n,
+        x_upper=[1.0] * n,
+    )
+    fast = solve_lp(problem)
+    slow = solve_lp_simplex(problem)
+    assert fast.status is SolverStatus.OPTIMAL
+    assert slow.status is SolverStatus.OPTIMAL
+    assert slow.objective == pytest.approx(fast.objective, abs=1e-5)

@@ -1,0 +1,164 @@
+"""Tests for the ADMM QP solver against analytic and reference solutions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.qp import QPProblem, QPSettings, solve_qp
+from repro.optim.result import SolverError, SolverStatus
+
+INF = float("inf")
+
+
+def _qp(P, q, A, lower, upper, **settings_kwargs):
+    return QPProblem(
+        P=sp.csc_matrix(np.atleast_2d(P)),
+        q=np.asarray(q, dtype=float),
+        A=sp.csr_matrix(np.atleast_2d(A)),
+        lower=np.asarray(lower, dtype=float),
+        upper=np.asarray(upper, dtype=float),
+        settings=QPSettings(**settings_kwargs) if settings_kwargs else QPSettings(),
+    )
+
+
+def test_unconstrained_quadratic():
+    # min (x-3)^2 -> P = 2, q = -6.
+    problem = QPProblem(
+        P=sp.csc_matrix([[2.0]]),
+        q=np.array([-6.0]),
+        A=sp.csr_matrix((0, 1)),
+        lower=np.empty(0),
+        upper=np.empty(0),
+    )
+    result = solve_qp(problem)
+    assert result.status is SolverStatus.OPTIMAL
+    assert result.x[0] == pytest.approx(3.0, abs=1e-6)
+
+
+def test_box_constrained_scalar():
+    # min (x-3)^2 s.t. x <= 1 -> x* = 1.
+    problem = _qp([[2.0]], [-6.0], [[1.0]], [-INF], [1.0])
+    result = solve_qp(problem).require_usable()
+    assert result.x[0] == pytest.approx(1.0, abs=1e-4)
+    assert result.objective == pytest.approx(-5.0, abs=1e-3)
+
+
+def test_equality_constraint():
+    # min x^2 + y^2 s.t. x + y = 2 -> (1, 1).
+    problem = _qp(
+        2.0 * np.eye(2), [0.0, 0.0], [[1.0, 1.0]], [2.0], [2.0]
+    )
+    result = solve_qp(problem).require_usable()
+    assert np.allclose(result.x, [1.0, 1.0], atol=1e-4)
+
+
+def test_two_sided_row():
+    # min (x+2)^2 s.t. 0 <= x <= 5 -> x* = 0.
+    problem = _qp([[2.0]], [4.0], [[1.0]], [0.0], [5.0])
+    result = solve_qp(problem).require_usable()
+    assert result.x[0] == pytest.approx(0.0, abs=1e-4)
+
+
+def test_active_inequality_kkt():
+    # min 0.5||x||^2 - [1,1]x s.t. x1 + x2 <= 1 -> x = (0.5, 0.5).
+    problem = _qp(np.eye(2), [-1.0, -1.0], [[1.0, 1.0]], [-INF], [1.0])
+    result = solve_qp(problem).require_usable()
+    assert np.allclose(result.x, [0.5, 0.5], atol=1e-4)
+
+
+def test_matches_scipy_reference_on_random_strictly_convex_qps():
+    from scipy.optimize import minimize
+
+    rng = np.random.default_rng(7)
+    for trial in range(5):
+        n, m = 4, 6
+        root = rng.normal(size=(n, n))
+        P = root @ root.T + n * np.eye(n)
+        q = rng.normal(size=n)
+        A = rng.normal(size=(m, n))
+        b = rng.normal(size=m) + 2.0
+
+        problem = _qp(P, q, A, np.full(m, -INF), b)
+        ours = solve_qp(problem).require_usable()
+
+        reference = minimize(
+            lambda x: 0.5 * x @ P @ x + q @ x,
+            np.zeros(n),
+            jac=lambda x: P @ x + q,
+            constraints=[{"type": "ineq", "fun": lambda x: b - A @ x}],
+            method="SLSQP",
+        )
+        assert reference.success, f"trial {trial}: reference failed"
+        assert ours.objective == pytest.approx(reference.fun, abs=1e-3)
+
+
+def test_infeasible_like_problem_reports_failure_or_large_residual():
+    # x <= -1 and x >= 1 simultaneously: ADMM cannot satisfy both.
+    problem = _qp(
+        [[2.0]],
+        [0.0],
+        [[1.0], [1.0]],
+        [-INF, 1.0],
+        [-1.0, INF],
+        max_iterations=300,
+    )
+    result = solve_qp(problem)
+    assert (
+        not result.status.is_usable or result.primal_residual > 0.5
+    )
+
+
+def test_rejects_inconsistent_shapes():
+    with pytest.raises(ValueError):
+        _qp(np.eye(2), [0.0, 0.0], [[1.0]], [0.0], [1.0])
+    with pytest.raises(ValueError):
+        _qp([[1.0]], [0.0], [[1.0]], [2.0], [1.0])  # lower > upper
+
+
+def test_warm_start_converges_faster_or_equal():
+    P = 2.0 * np.eye(3)
+    q = np.array([-2.0, -4.0, -6.0])
+    A = np.vstack([np.eye(3), np.ones((1, 3))])
+    lower = np.array([0.0, 0.0, 0.0, -INF])
+    upper = np.array([INF, INF, INF, 2.0])
+    problem = _qp(P, q, A, lower, upper)
+    cold = solve_qp(problem).require_usable()
+    warm = solve_qp(problem, x0=cold.x).require_usable()
+    assert warm.iterations <= cold.iterations
+    assert warm.objective == pytest.approx(cold.objective, abs=1e-4)
+
+
+def test_require_usable_raises_on_failure():
+    problem = _qp(
+        [[2.0]],
+        [0.0],
+        [[1.0], [1.0]],
+        [-INF, 10.0],
+        [-10.0, INF],
+        max_iterations=120,
+    )
+    result = solve_qp(problem)
+    if not result.status.is_usable:
+        with pytest.raises(SolverError):
+            result.require_usable()
+
+
+def test_objective_helper():
+    problem = _qp(2.0 * np.eye(2), [1.0, -1.0], np.eye(2), [0, 0], [1, 1])
+    x = np.array([0.5, 0.5])
+    assert problem.objective(x) == pytest.approx(0.5 * (0.5 + 0.5) + 0.5 - 0.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    target=st.floats(-5, 5, allow_nan=False),
+    cap=st.floats(-5, 5, allow_nan=False),
+)
+def test_scalar_projection_property(target, cap):
+    """min (x - target)^2 s.t. x <= cap has solution min(target, cap)."""
+    problem = _qp([[2.0]], [-2.0 * target], [[1.0]], [-INF], [cap])
+    result = solve_qp(problem)
+    if result.status.is_usable:
+        assert result.x[0] == pytest.approx(min(target, cap), abs=1e-3)

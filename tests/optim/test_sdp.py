@@ -1,0 +1,136 @@
+"""Tests for the ADMM SDP solver (QP + affine PSD cone constraints)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.optim.linalg import is_psd
+from repro.optim.sdp import PSDBlock, SDPProblem, SDPSettings, solve_sdp
+
+
+def _identity_block(n, selector):
+    """PSD block that maps selected variables onto a diagonal matrix."""
+    rows = n * n
+    C = sp.lil_matrix((rows, len(selector)))
+    for k, var in enumerate(selector):
+        C[k * n + k, var] = 1.0
+    return PSDBlock(dim=n, C=sp.csr_matrix(C), d=np.zeros(rows))
+
+
+def test_psd_block_validates_shape():
+    with pytest.raises(ValueError):
+        PSDBlock(dim=2, C=sp.csr_matrix((3, 2)), d=np.zeros(3))
+
+
+def test_psd_block_matrix_at_symmetrizes():
+    C = sp.csr_matrix(np.array([[1.0], [2.0], [0.0], [1.0]]))
+    block = PSDBlock(dim=2, C=C, d=np.zeros(4))
+    mat = block.matrix_at(np.array([1.0]))
+    assert np.allclose(mat, [[1.0, 1.0], [1.0, 1.0]])
+
+
+def test_diagonal_psd_enforces_nonnegativity():
+    """min (x+2)^2 with diag(x) >= 0 forces x >= 0 -> x* = 0."""
+    problem = SDPProblem(
+        P=sp.csc_matrix([[2.0]]),
+        q=np.array([4.0]),
+        A=sp.csr_matrix((0, 1)),
+        lower=np.empty(0),
+        upper=np.empty(0),
+        psd_blocks=[_identity_block(1, [0])],
+    )
+    result = solve_sdp(problem)
+    assert result.status.is_usable
+    assert result.x[0] == pytest.approx(0.0, abs=1e-3)
+
+
+def test_reduces_to_qp_without_blocks():
+    """Without PSD blocks the solver must match the plain QP solution."""
+    problem = SDPProblem(
+        P=sp.csc_matrix(2.0 * np.eye(2)),
+        q=np.array([0.0, 0.0]),
+        A=sp.csr_matrix([[1.0, 1.0]]),
+        lower=np.array([2.0]),
+        upper=np.array([2.0]),
+    )
+    result = solve_sdp(problem)
+    assert result.status.is_usable
+    assert np.allclose(result.x, [1.0, 1.0], atol=1e-3)
+
+
+def test_schur_style_lift_keeps_moment_matrix_psd():
+    """A tiny SDR-style problem: x = (u, U) with [[U, u], [u, 1]] >= 0.
+
+    Minimizing U subject to u == 2 must drive U toward u^2 = 4 (the PSD
+    condition enforces U >= u^2 after relaxation).
+    """
+    # Variables: x = [u, U]; block matrix [[U, u], [u, 1]].
+    C = sp.lil_matrix((4, 2))
+    C[0, 1] = 1.0  # (0,0) <- U
+    C[1, 0] = 1.0  # (0,1) <- u
+    C[2, 0] = 1.0  # (1,0) <- u
+    d = np.array([0.0, 0.0, 0.0, 1.0])  # (1,1) = 1
+    block = PSDBlock(dim=2, C=sp.csr_matrix(C), d=d)
+
+    problem = SDPProblem(
+        P=sp.csc_matrix((2, 2)),
+        q=np.array([0.0, 1.0]),  # minimize U
+        A=sp.csr_matrix([[1.0, 0.0]]),
+        lower=np.array([2.0]),
+        upper=np.array([2.0]),
+        psd_blocks=[block],
+        settings=SDPSettings(max_iterations=6000),
+    )
+    result = solve_sdp(problem)
+    assert result.status.is_usable
+    u, U = result.x
+    assert u == pytest.approx(2.0, abs=1e-2)
+    assert U == pytest.approx(4.0, abs=0.1)
+    assert is_psd(block.matrix_at(result.x), tol=1e-4)
+
+
+def test_box_and_psd_interaction():
+    """min x1 + x2 s.t. x1 >= 1 (box row), diag(x1, x2) >= 0."""
+    problem = SDPProblem(
+        P=sp.csc_matrix((2, 2)),
+        q=np.array([1.0, 1.0]),
+        A=sp.csr_matrix([[1.0, 0.0]]),
+        lower=np.array([1.0]),
+        upper=np.array([np.inf]),
+        psd_blocks=[_identity_block(2, [0, 1])],
+    )
+    result = solve_sdp(problem)
+    assert result.status.is_usable
+    assert result.x[0] == pytest.approx(1.0, abs=1e-2)
+    assert result.x[1] == pytest.approx(0.0, abs=1e-2)
+
+
+def test_column_mismatch_rejected():
+    with pytest.raises(ValueError):
+        SDPProblem(
+            P=sp.csc_matrix((2, 2)),
+            q=np.zeros(2),
+            A=sp.csr_matrix((0, 2)),
+            lower=np.empty(0),
+            upper=np.empty(0),
+            psd_blocks=[
+                PSDBlock(dim=1, C=sp.csr_matrix((1, 3)), d=np.zeros(1))
+            ],  # 3 columns into a 2-variable problem
+        )
+
+
+def test_solution_matrix_is_psd_after_solve():
+    rng = np.random.default_rng(3)
+    n = 3
+    block = _identity_block(n, list(range(n)))
+    problem = SDPProblem(
+        P=sp.csc_matrix(np.eye(n)),
+        q=rng.normal(size=n),
+        A=sp.csr_matrix((0, n)),
+        lower=np.empty(0),
+        upper=np.empty(0),
+        psd_blocks=[block],
+    )
+    result = solve_sdp(problem)
+    assert result.status.is_usable
+    assert is_psd(block.matrix_at(result.x), tol=1e-3)

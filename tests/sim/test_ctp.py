@@ -1,0 +1,105 @@
+"""Tests for the ETX-gradient routing engine."""
+
+import numpy as np
+
+from repro.sim.ctp import RoutingConfig, RoutingEngine
+from repro.sim.radio import LinkModel, RadioConfig
+from repro.sim.topology import grid_topology, line_topology
+
+
+def _engine(topo, seed=0, **routing_kwargs):
+    links = LinkModel(
+        topo.positions,
+        RadioConfig(shadowing_sigma_db=0.0, fading_walk_db=0.0),
+        rng=np.random.default_rng(seed),
+    )
+    config = RoutingConfig(estimate_noise=0.0, **routing_kwargs)
+    engine = RoutingEngine(links, sink=topo.sink, config=config,
+                           rng=np.random.default_rng(seed))
+    engine.refresh(0.0, force=True)
+    return engine
+
+
+def test_line_routes_toward_sink():
+    topo = line_topology(5, spacing_m=25.0)
+    engine = _engine(topo)
+    for node in range(1, 5):
+        assert engine.parent(node, 0.0) == node - 1
+
+
+def test_sink_has_no_parent():
+    topo = line_topology(3)
+    engine = _engine(topo)
+    assert engine.parent(0, 0.0) is None
+
+
+def test_routes_are_loop_free_within_epoch():
+    topo = grid_topology(5, spacing_m=25.0)
+    engine = _engine(topo)
+    for node in range(1, topo.num_nodes):
+        route = engine.route_of(node, 0.0)
+        assert route[-1] == topo.sink, f"node {node} not connected"
+        assert len(set(route)) == len(route), f"loop in route {route}"
+
+
+def test_disconnected_node_has_no_route():
+    topo = line_topology(4, spacing_m=100.0)  # beyond max range
+    engine = _engine(topo)
+    assert engine.parent(2, 0.0) is None
+    assert not engine.is_connected(2)
+
+
+def test_routes_change_under_fading():
+    """Routing dynamics: parents change over a long run with strong fading."""
+    topo = grid_topology(5, spacing_m=30.0)
+    links = LinkModel(
+        topo.positions,
+        RadioConfig(shadowing_sigma_db=3.0, fading_walk_db=3.0),
+        rng=np.random.default_rng(7),
+    )
+    engine = RoutingEngine(
+        links,
+        sink=0,
+        config=RoutingConfig(estimate_noise=0.15, switch_threshold_etx=0.2),
+        rng=np.random.default_rng(7),
+    )
+    engine.refresh(0.0, force=True)
+    for t in np.arange(0.0, 600_000.0, 10_000.0):
+        engine.refresh(float(t), force=True)
+    assert engine.parent_changes > 0
+
+
+def test_hysteresis_limits_parent_flapping():
+    """Higher switch thresholds must not increase parent changes."""
+    topo = grid_topology(4, spacing_m=30.0)
+
+    def churn(threshold):
+        links = LinkModel(
+            topo.positions,
+            RadioConfig(shadowing_sigma_db=3.0, fading_walk_db=2.0),
+            rng=np.random.default_rng(3),
+        )
+        engine = RoutingEngine(
+            links,
+            sink=0,
+            config=RoutingConfig(
+                estimate_noise=0.2, switch_threshold_etx=threshold
+            ),
+            rng=np.random.default_rng(3),
+        )
+        for t in np.arange(0.0, 300_000.0, 10_000.0):
+            engine.refresh(float(t), force=True)
+        return engine.parent_changes
+
+    assert churn(5.0) <= churn(0.0)
+
+
+def test_refresh_is_rate_limited():
+    topo = line_topology(3)
+    engine = _engine(topo, beacon_period_ms=10_000.0)
+    engine.refresh(100.0)
+    first_update = engine._last_update_ms
+    engine.refresh(5_000.0)  # within the beacon period: no-op
+    assert engine._last_update_ms == first_update
+    engine.refresh(20_000.0)
+    assert engine._last_update_ms == 20_000.0

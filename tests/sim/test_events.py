@@ -1,0 +1,89 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    order = []
+    q.schedule(5.0, lambda: order.append("b"))
+    q.schedule(1.0, lambda: order.append("a"))
+    q.schedule(9.0, lambda: order.append("c"))
+    q.run_all()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_fire_in_insertion_order():
+    q = EventQueue()
+    order = []
+    for name in "abcd":
+        q.schedule(3.0, lambda n=name: order.append(n))
+    q.run_all()
+    assert order == list("abcd")
+
+
+def test_now_advances_with_events():
+    q = EventQueue()
+    seen = []
+    q.schedule(2.0, lambda: seen.append(q.now))
+    q.schedule(7.5, lambda: seen.append(q.now))
+    q.run_all()
+    assert seen == [2.0, 7.5]
+
+
+def test_run_until_stops_at_horizon():
+    q = EventQueue()
+    fired = []
+    q.schedule(1.0, lambda: fired.append(1))
+    q.schedule(10.0, lambda: fired.append(10))
+    count = q.run_until(5.0)
+    assert count == 1
+    assert fired == [1]
+    assert q.now == 5.0
+    assert len(q) == 1
+
+
+def test_run_until_leaves_clock_at_horizon_when_empty():
+    q = EventQueue()
+    q.run_until(42.0)
+    assert q.now == 42.0
+
+
+def test_events_scheduled_during_run_fire():
+    q = EventQueue()
+    order = []
+
+    def outer():
+        order.append("outer")
+        q.schedule(1.0, lambda: order.append("inner"))
+
+    q.schedule(1.0, outer)
+    q.run_until(10.0)
+    assert order == ["outer", "inner"]
+
+
+def test_negative_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    q = EventQueue()
+    q.schedule(5.0, lambda: None)
+    q.run_until(5.0)
+    with pytest.raises(ValueError):
+        q.schedule_at(3.0, lambda: None)
+
+
+def test_run_all_guards_against_runaway():
+    q = EventQueue()
+
+    def loop():
+        q.schedule(1.0, loop)
+
+    q.schedule(1.0, loop)
+    with pytest.raises(RuntimeError):
+        q.run_all(max_events=100)

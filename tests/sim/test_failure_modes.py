@@ -1,0 +1,143 @@
+"""Failure-injection tests: overflow, retry exhaustion, partitions, faults."""
+
+import numpy as np
+import pytest
+
+from repro.sim import NetworkConfig, Simulator
+from repro.sim.radio import RadioConfig
+from repro.sim.mac import MacConfig
+
+
+def test_queue_overflow_drops_packets():
+    """A tiny queue under heavy load must shed packets, not wedge."""
+    config = NetworkConfig(
+        num_nodes=16,
+        placement="grid",
+        duration_ms=30_000.0,
+        packet_period_ms=300.0,  # aggressive load
+        queue_capacity=2,
+        seed=1,
+    )
+    simulator = Simulator(config)
+    trace = simulator.run()
+    overflow = sum(
+        node.queue_stats.dropped_overflow
+        for node in simulator.nodes.values()
+    )
+    assert overflow > 0
+    assert trace.num_received > 0
+    # Every lost packet is accounted for.
+    assert len(trace.lost_packets) > 0
+
+
+def test_retry_exhaustion_on_terrible_links():
+    """Weak links force retry exhaustion; the trace stays consistent."""
+    config = NetworkConfig(
+        num_nodes=9,
+        placement="grid",
+        duration_ms=30_000.0,
+        packet_period_ms=2_000.0,
+        seed=2,
+        radio=RadioConfig(reference_loss_db=53.0, shadowing_sigma_db=0.0),
+        mac=MacConfig(max_transmissions=2),
+    )
+    simulator = Simulator(config)
+    trace = simulator.run()
+    exhausted = sum(
+        node.stats.dropped_retries for node in simulator.nodes.values()
+    )
+    assert exhausted > 0
+    for p in trace.received:
+        truth = trace.truth_of(p.packet_id)
+        assert truth.path == p.path
+
+
+def test_partitioned_network_drops_unroutable_packets():
+    """Nodes with no route to the sink give up without wedging."""
+    config = NetworkConfig(
+        num_nodes=9,
+        placement="grid",
+        duration_ms=25_000.0,
+        packet_period_ms=2_000.0,
+        seed=3,
+        radio=RadioConfig(max_range_m=20.0),  # grid spacing 25 m: isolated
+    )
+    simulator = Simulator(config)
+    trace = simulator.run()
+    assert trace.num_received == 0
+    no_route = sum(
+        node.stats.dropped_no_route for node in simulator.nodes.values()
+    )
+    assert no_route > 0
+
+
+def test_slow_node_fault_injection_increases_its_delay():
+    base = NetworkConfig(
+        num_nodes=16,
+        placement="grid",
+        duration_ms=40_000.0,
+        packet_period_ms=3_000.0,
+        seed=4,
+    )
+    healthy = Simulator(base).run()
+
+    victim = 5
+    faulty_config = NetworkConfig(
+        **{**base.__dict__, "slow_nodes": {victim: 30.0}}
+    )
+    faulty = Simulator(faulty_config).run()
+
+    def mean_delay_at(trace, node):
+        delays = []
+        for p in trace.received:
+            truth = trace.truth_of(p.packet_id)
+            for hop, n in enumerate(p.path[:-1]):
+                if n == node:
+                    delays.append(truth.node_delay_ms(hop))
+        return float(np.mean(delays)) if delays else float("nan")
+
+    healthy_delay = mean_delay_at(healthy, victim)
+    faulty_delay = mean_delay_at(faulty, victim)
+    assert faulty_delay > healthy_delay + 20.0
+
+
+def test_sum_of_delays_still_sound_after_retry_losses():
+    """Eq. (7) must hold even when lost packets flushed the accumulator."""
+    config = NetworkConfig(
+        num_nodes=16,
+        placement="grid",
+        duration_ms=40_000.0,
+        packet_period_ms=1_500.0,
+        seed=5,
+        radio=RadioConfig(reference_loss_db=50.0),
+        mac=MacConfig(max_transmissions=5),
+    )
+    trace = Simulator(config).run()
+    assert len(trace.lost_packets) > 0
+
+    from repro.core.candidate import compute_candidate_sets
+    from repro.core.records import TraceIndex
+
+    index = TraceIndex(list(trace.received))
+    checked = 0
+    for packet in trace.received:
+        sets = compute_candidate_sets(index, packet)
+        if sets is None or not sets.anchored:
+            continue
+        guaranteed = 0.0
+        for candidate, hop in sets.guaranteed:
+            guaranteed += trace.truth_of(candidate.packet_id).node_delay_ms(hop)
+        own = trace.truth_of(packet.packet_id).node_delay_ms(0)
+        assert packet.sum_of_delays_ms >= own + guaranteed - 2.0
+        checked += 1
+    assert checked > 10
+
+
+def test_sum_field_saturates_not_wraps():
+    """The 2-byte S(p) field clips at 65535 instead of wrapping."""
+    from repro.sim.packet import quantize_ms
+
+    assert quantize_ms(1e9) == 65535
+    assert quantize_ms(-5.0) == 0
+    assert quantize_ms(12.4) == 12
+    assert quantize_ms(12.6) == 13

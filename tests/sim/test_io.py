@@ -1,0 +1,82 @@
+"""Tests for trace serialization."""
+
+import json
+
+import pytest
+
+from repro.sim import NetworkConfig, simulate_network
+from repro.sim.io import (
+    FORMAT_VERSION,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return simulate_network(
+        NetworkConfig(
+            num_nodes=16,
+            placement="grid",
+            duration_ms=20_000.0,
+            packet_period_ms=3_000.0,
+            seed=6,
+        )
+    )
+
+
+def test_dict_roundtrip(trace):
+    restored = trace_from_dict(trace_to_dict(trace))
+    assert restored.received == trace.received
+    assert restored.ground_truth == trace.ground_truth
+    assert restored.node_logs == trace.node_logs
+    assert restored.lost_packets == trace.lost_packets
+    assert restored.sink == trace.sink
+    assert restored.duration_ms == trace.duration_ms
+
+
+def test_file_roundtrip(tmp_path, trace):
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    restored = load_trace(path)
+    assert restored.received == trace.received
+    assert len(restored.node_logs) == len(trace.node_logs)
+
+
+def test_gzip_roundtrip(tmp_path, trace):
+    plain = tmp_path / "trace.json"
+    packed = tmp_path / "trace.json.gz"
+    save_trace(trace, plain)
+    save_trace(trace, packed)
+    assert packed.stat().st_size < plain.stat().st_size
+    assert load_trace(packed).received == trace.received
+
+
+def test_json_is_plain_and_versioned(tmp_path, trace):
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    data = json.loads(path.read_text())
+    assert data["version"] == FORMAT_VERSION
+    assert isinstance(data["received"], list)
+
+
+def test_version_mismatch_rejected(trace):
+    data = trace_to_dict(trace)
+    data["version"] = 999
+    with pytest.raises(ValueError):
+        trace_from_dict(data)
+
+
+def test_reconstruction_on_restored_trace(tmp_path, trace):
+    """Domo must produce identical estimates on the reloaded trace."""
+    from repro.core.pipeline import DomoConfig, DomoReconstructor
+
+    path = tmp_path / "trace.json.gz"
+    save_trace(trace, path)
+    restored = load_trace(path)
+    domo = DomoReconstructor(DomoConfig())
+    original = domo.estimate(trace)
+    reloaded = domo.estimate(restored)
+    assert original.arrival_times == reloaded.arrival_times

@@ -1,0 +1,95 @@
+"""Tests for the FIFO send queue and the collision channel."""
+
+import pytest
+
+from repro.sim.mac import Channel, MacConfig
+from repro.sim.packet import Packet, PacketHeader, PacketId
+from repro.sim.queueing import FifoSendQueue
+
+
+def _packet(source=1, seqno=0):
+    return Packet(header=PacketHeader(packet_id=PacketId(source, seqno)))
+
+
+class TestFifoSendQueue:
+    def test_fifo_order(self):
+        q = FifoSendQueue(capacity=5)
+        packets = [_packet(seqno=i) for i in range(3)]
+        for p in packets:
+            assert q.offer(p)
+        for p in packets:
+            assert q.head() is p
+            assert q.pop() is p
+        assert q.is_empty
+
+    def test_overflow_drops(self):
+        q = FifoSendQueue(capacity=2)
+        assert q.offer(_packet(seqno=0))
+        assert q.offer(_packet(seqno=1))
+        assert not q.offer(_packet(seqno=2))
+        assert q.stats.dropped_overflow == 1
+        assert len(q) == 2
+
+    def test_stats_track_throughput(self):
+        q = FifoSendQueue(capacity=4)
+        for i in range(3):
+            q.offer(_packet(seqno=i))
+        q.pop()
+        assert q.stats.enqueued == 3
+        assert q.stats.dequeued == 1
+        assert q.stats.peak_depth == 3
+
+
+class TestChannel:
+    def test_overlap_detection(self):
+        ch = Channel()
+        ch.begin(1, 0.0, 4.0)
+        ch.begin(2, 2.0, 6.0)
+        assert ch.overlapping_senders(0.0, 4.0, exclude=1) == [2]
+        assert ch.is_transmitting(1)
+
+    def test_non_overlapping_not_reported(self):
+        ch = Channel()
+        ch.begin(1, 0.0, 2.0)
+        ch.finish(1)
+        # A frame strictly after sender 1's airtime does not collide.
+        assert ch.overlapping_senders(2.5, 4.0, exclude=9) == []
+
+    def test_finished_frames_stay_visible_within_history(self):
+        """A short frame entirely inside a long frame must still collide."""
+        ch = Channel()
+        ch.begin(1, 0.0, 10.0)  # long frame
+        ch.begin(2, 2.0, 4.0)  # short frame inside
+        ch.finish(2)
+        # The long frame finishes later and must still see sender 2.
+        assert 2 in ch.overlapping_senders(0.0, 10.0, exclude=1)
+
+    def test_double_begin_rejected(self):
+        ch = Channel()
+        ch.begin(1, 0.0, 2.0)
+        with pytest.raises(RuntimeError):
+            ch.begin(1, 1.0, 3.0)
+
+    def test_finish_returns_transmission(self):
+        ch = Channel()
+        ch.begin(3, 1.0, 5.0)
+        tx = ch.finish(3)
+        assert tx.sender == 3
+        assert tx.start_ms == 1.0
+        assert not ch.is_transmitting(3)
+
+    def test_history_pruning(self):
+        ch = Channel(history_ms=10.0)
+        for i in range(50):
+            start = float(i * 100)
+            ch.begin(1, start, start + 1.0)
+            ch.finish(1)
+        assert len(ch._recent) < 5
+
+
+def test_mac_config_defaults_are_sane():
+    cfg = MacConfig()
+    assert cfg.initial_backoff_min_ms < cfg.initial_backoff_max_ms
+    assert cfg.retry_backoff_min_ms < cfg.retry_backoff_max_ms
+    assert cfg.max_transmissions >= 1
+    assert cfg.processing_floor_ms > 0.0

@@ -1,0 +1,83 @@
+"""Tests for the link model (path loss, PRR, fading dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.radio import LinkModel, RadioConfig
+from repro.sim.topology import line_topology
+
+
+def _model(spacing=25.0, n=4, sigma=0.0, seed=0, **cfg):
+    topo = line_topology(n, spacing_m=spacing)
+    config = RadioConfig(shadowing_sigma_db=sigma, **cfg)
+    return LinkModel(topo.positions, config, rng=np.random.default_rng(seed))
+
+
+def test_prr_decreases_with_distance():
+    model = _model(spacing=15.0, n=5, fading_walk_db=0.0)
+    prr_near = model.prr(0, 1, 0.0)
+    prr_far = model.prr(0, 3, 0.0)
+    assert prr_near > prr_far
+
+
+def test_prr_zero_beyond_range():
+    model = _model(spacing=40.0, n=4)
+    assert not model.in_range(0, 3)  # 120 m >> 60 m max range
+    assert model.prr(0, 3, 0.0) == 0.0
+
+
+def test_prr_zero_to_self():
+    model = _model()
+    assert model.prr(2, 2, 0.0) == 0.0
+
+
+def test_short_links_are_nearly_perfect():
+    model = _model(spacing=10.0, fading_walk_db=0.0)
+    assert model.prr(0, 1, 0.0) > 0.99
+
+
+def test_prr_is_probability():
+    model = _model(spacing=25.0, sigma=6.0, seed=5)
+    for a in range(4):
+        for b in range(4):
+            if a == b:
+                continue
+            for t in (0.0, 10_000.0, 60_000.0):
+                assert 0.0 <= model.prr(a, b, t) <= 1.0
+
+
+def test_shadowing_is_symmetric():
+    model = _model(sigma=6.0, seed=2, fading_walk_db=0.0)
+    assert model.prr(0, 1, 0.0) == pytest.approx(model.prr(1, 0, 0.0))
+
+
+def test_fading_changes_links_over_time():
+    """Link dynamics: PRR at a marginal distance varies across epochs."""
+    model = _model(spacing=32.0, seed=3, fading_walk_db=2.0)
+    values = {round(model.prr(0, 1, t), 6) for t in np.arange(0, 300_000, 5000)}
+    assert len(values) > 3
+
+
+def test_fading_constant_within_epoch():
+    model = _model(spacing=30.0, seed=4, fading_walk_db=2.0)
+    assert model.prr(0, 1, 100.0) == model.prr(0, 1, 4900.0)
+
+
+def test_airtime_scales_with_size():
+    model = _model()
+    assert model.airtime_ms(100) > model.airtime_ms(20)
+    # 24+19 bytes at 250 kbps ~ 1.4 ms
+    assert model.airtime_ms(24) == pytest.approx((24 + 19) * 8 / 250.0)
+
+
+def test_neighbor_map_respects_range():
+    model = _model(spacing=25.0, n=5)
+    nmap = model.neighbor_map()
+    assert 1 in nmap[0] and 2 in nmap[0]  # 25 m, 50 m in range
+    assert 3 not in nmap[0]  # 75 m out of range
+
+
+def test_rssi_monotone_in_distance_without_noise():
+    model = _model(spacing=10.0, n=6, sigma=0.0, fading_walk_db=0.0)
+    rssi = [model.rssi_dbm(0, k, 0.0) for k in range(1, 6)]
+    assert all(a > b for a, b in zip(rssi, rssi[1:]))

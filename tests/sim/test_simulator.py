@@ -1,0 +1,183 @@
+"""Integration tests: the simulator must produce Domo-consistent traces.
+
+These tests check the invariants the reconstruction algorithms rely on:
+FIFO departures, monotone arrival times, faithful S(p) semantics
+(constraints (6)/(7) of the paper) and accurate t0 reconstruction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import NetworkConfig, Simulator, simulate_network
+from repro.sim.packet import SUM_OF_DELAYS_MAX_MS
+
+
+def small_trace(**overrides):
+    defaults = dict(
+        num_nodes=25,
+        placement="grid",
+        duration_ms=60_000.0,
+        packet_period_ms=3_000.0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return simulate_network(NetworkConfig(**defaults))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return small_trace()
+
+
+def test_packets_are_delivered(trace):
+    assert trace.num_received > 100
+    assert trace.delivery_ratio > 0.9
+
+
+def test_ground_truth_aligned_with_received(trace):
+    for p in trace.received:
+        truth = trace.truth_of(p.packet_id)
+        assert truth.path == p.path
+        assert len(truth.arrival_times_ms) == len(p.path)
+
+
+def test_paths_start_at_source_end_at_sink(trace):
+    for p in trace.received:
+        assert p.path[0] == p.packet_id.source
+        assert p.path[-1] == trace.sink
+
+
+def test_arrival_times_strictly_increasing(trace):
+    floor = 1.0  # MacConfig.processing_floor_ms default
+    for p in trace.received:
+        times = trace.truth_of(p.packet_id).arrival_times_ms
+        for a, b in zip(times, times[1:]):
+            assert b - a >= floor - 1e-9
+
+
+def test_fifo_property_holds_in_ground_truth(trace):
+    """Paper Eq. (1): shared-node packets keep their arrival order.
+
+    This is THE property Domo's FIFO constraints assume; if the simulator
+    violated it the whole reconstruction premise would be wrong.
+    """
+    checked = 0
+    by_node: dict[int, list[tuple[float, float]]] = {}
+    for p in trace.received:
+        truth = trace.truth_of(p.packet_id)
+        for hop, node in enumerate(p.path[:-1]):
+            by_node.setdefault(node, []).append(
+                (truth.arrival_times_ms[hop], truth.arrival_times_ms[hop + 1])
+            )
+    for node, pairs in by_node.items():
+        pairs.sort()
+        for (a_in, a_out), (b_in, b_out) in zip(pairs, pairs[1:]):
+            if a_in == b_in:
+                continue
+            assert a_out <= b_out, (
+                f"FIFO violated at node {node}: in {a_in}<{b_in} "
+                f"but out {a_out}>{b_out}"
+            )
+            checked += 1
+    assert checked > 100
+
+
+def test_t0_reconstruction_is_millisecond_accurate(trace):
+    """e2e-accumulation time reconstruction errs only by clock drift."""
+    errors = [
+        abs(p.generation_time_ms - trace.truth_of(p.packet_id).arrival_times_ms[0])
+        for p in trace.received
+    ]
+    assert max(errors) < 2.0
+    assert float(np.mean(errors)) < 0.5
+
+
+def test_sum_of_delays_lower_constraint_holds(trace):
+    """Paper Eq. (7): S(p) >= D_src(p) + sum over C*(p), even with loss."""
+    slack = 2.0  # quantization + drift tolerance
+    received = trace.sorted_by_generation()
+    by_source: dict[int, list] = {}
+    for p in received:
+        by_source.setdefault(p.packet_id.source, []).append(p)
+    checked = 0
+    for source, packets in by_source.items():
+        packets.sort(key=lambda p: p.packet_id.seqno)
+        for prev, cur in zip(packets, packets[1:]):
+            if cur.packet_id.seqno != prev.packet_id.seqno + 1:
+                continue  # a local packet was lost in between
+            t0_prev = trace.truth_of(prev.packet_id).arrival_times_ms[0]
+            t0_cur = trace.truth_of(cur.packet_id).arrival_times_ms[0]
+            guaranteed = 0.0
+            for x in received:
+                # q's own delay was flushed into S(q), and p's delay is the
+                # separate D term, so both are excluded from the sum.
+                if x.packet_id in (cur.packet_id, prev.packet_id):
+                    continue
+                if source not in x.path[:-1]:
+                    continue
+                truth_x = trace.truth_of(x.packet_id)
+                if (
+                    truth_x.arrival_times_ms[0] >= t0_prev
+                    and x.sink_arrival_ms <= t0_cur
+                ):
+                    hop = x.path.index(source)
+                    guaranteed += truth_x.node_delay_ms(hop)
+            own = trace.truth_of(cur.packet_id).node_delay_ms(0)
+            assert cur.sum_of_delays_ms >= own + guaranteed - slack, (
+                f"S(p) constraint violated for {cur.packet_id}"
+            )
+            checked += 1
+    assert checked > 50
+
+
+def test_sum_of_delays_field_is_quantized(trace):
+    for p in trace.received:
+        assert isinstance(p.sum_of_delays_ms, int)
+        assert 0 <= p.sum_of_delays_ms <= SUM_OF_DELAYS_MAX_MS
+
+
+def test_node_logs_ordered_locally(trace):
+    assert trace.node_logs
+    for node, log in trace.node_logs.items():
+        times = [entry.local_time_ms for entry in log]
+        assert times == sorted(times), f"node {node} log out of order"
+
+
+def test_same_seed_reproduces_trace():
+    a = small_trace(duration_ms=20_000.0)
+    b = small_trace(duration_ms=20_000.0)
+    assert a.num_received == b.num_received
+    for pa, pb in zip(a.received, b.received):
+        assert pa == pb
+
+
+def test_different_seeds_differ():
+    a = small_trace(duration_ms=20_000.0, seed=1)
+    b = small_trace(duration_ms=20_000.0, seed=2)
+    assert a.received != b.received
+
+
+def test_domo_disabled_clears_instrumentation():
+    trace = small_trace(duration_ms=20_000.0, domo_enabled=False)
+    assert trace.num_received > 10
+    assert all(p.sum_of_delays_ms == 0 for p in trace.received)
+    # t0 falls back to the simulator's ground truth (no e2e field).
+    for p in trace.received[:20]:
+        assert p.generation_time_ms == pytest.approx(
+            trace.truth_of(p.packet_id).arrival_times_ms[0]
+        )
+
+
+def test_uniform_network_runs():
+    trace = simulate_network(
+        num_nodes=50, duration_ms=30_000.0, packet_period_ms=5_000.0, seed=5
+    )
+    assert trace.num_received > 50
+    assert max(p.path_length for p in trace.received) >= 3
+
+
+def test_invalid_placement_rejected():
+    with pytest.raises(ValueError):
+        Simulator(NetworkConfig(placement="ring"))
+    with pytest.raises(ValueError):
+        Simulator(NetworkConfig(placement="grid", num_nodes=10))

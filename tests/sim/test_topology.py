@@ -1,0 +1,86 @@
+"""Tests for node placement and connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.sim.topology import (
+    Topology,
+    grid_topology,
+    line_topology,
+    uniform_topology,
+)
+
+
+def test_uniform_places_all_nodes_in_square():
+    rng = np.random.default_rng(1)
+    topo = uniform_topology(100, side_m=200.0, rng=rng)
+    assert topo.num_nodes == 100
+    assert np.all(topo.positions >= 0.0)
+    assert np.all(topo.positions <= 200.0)
+
+
+def test_uniform_sink_nearest_the_corner():
+    topo = uniform_topology(50, rng=np.random.default_rng(2))
+    assert topo.sink == 0
+    sink_distance = np.hypot(*topo.positions[0])
+    others = np.hypot(topo.positions[1:, 0], topo.positions[1:, 1])
+    assert sink_distance <= others.min()
+
+
+def test_uniform_constant_density_scaling():
+    """Bigger networks get bigger areas, not denser packing (paper Fig. 8)."""
+    rng = np.random.default_rng(3)
+    small = uniform_topology(100, rng=rng)
+    large = uniform_topology(400, rng=rng)
+    ratio = (large.side_m / small.side_m) ** 2
+    assert ratio == pytest.approx(4.0, rel=0.01)
+
+
+def test_uniform_rejects_tiny_networks():
+    with pytest.raises(ValueError):
+        uniform_topology(1)
+
+
+def test_grid_layout():
+    topo = grid_topology(3, spacing_m=10.0)
+    assert topo.num_nodes == 9
+    assert topo.distance(0, 1) == pytest.approx(10.0)
+    assert topo.distance(0, 8) == pytest.approx(np.hypot(20.0, 20.0))
+
+
+def test_grid_rejects_degenerate():
+    with pytest.raises(ValueError):
+        grid_topology(1)
+
+
+def test_line_topology():
+    topo = line_topology(5, spacing_m=20.0)
+    assert topo.num_nodes == 5
+    assert topo.distance(0, 4) == pytest.approx(80.0)
+
+
+def test_neighbors_within_radius():
+    topo = grid_topology(3, spacing_m=10.0)
+    center = 4  # middle of the 3x3 grid
+    neighbors = topo.neighbors_within(center, 10.5)
+    assert sorted(neighbors) == [1, 3, 5, 7]
+    all_but_self = topo.neighbors_within(center, 100.0)
+    assert len(all_but_self) == 8
+
+
+def test_neighbor_map_is_symmetric():
+    topo = uniform_topology(30, rng=np.random.default_rng(4))
+    nmap = topo.neighbor_map(60.0)
+    for node, neighbors in nmap.items():
+        for other in neighbors:
+            assert node in nmap[other]
+
+
+def test_invalid_positions_shape_rejected():
+    with pytest.raises(ValueError):
+        Topology(positions=np.zeros((4, 3)))
+
+
+def test_invalid_sink_rejected():
+    with pytest.raises(ValueError):
+        Topology(positions=np.zeros((4, 2)), sink=9)

@@ -1,0 +1,117 @@
+"""Tests for trace record types and trace-level operations."""
+
+import numpy as np
+import pytest
+
+from repro.sim.packet import PacketId
+from repro.sim.trace import (
+    GroundTruthPacket,
+    ReceivedPacket,
+    TraceBundle,
+    drop_random_packets,
+)
+
+
+def _received(source=1, seqno=0, path=(1, 0), t0=0.0, t_sink=10.0, s=5):
+    return ReceivedPacket(
+        packet_id=PacketId(source, seqno),
+        path=tuple(path),
+        generation_time_ms=t0,
+        sink_arrival_ms=t_sink,
+        sum_of_delays_ms=s,
+    )
+
+
+def _truth(source=1, seqno=0, path=(1, 0), times=(0.0, 10.0)):
+    return GroundTruthPacket(
+        packet_id=PacketId(source, seqno),
+        path=tuple(path),
+        arrival_times_ms=tuple(times),
+    )
+
+
+def test_received_packet_accessors():
+    p = _received(path=(3, 2, 0), t0=1.0, t_sink=21.0)
+    assert p.path_length == 3
+    assert p.e2e_delay_ms == pytest.approx(20.0)
+    assert p.node_at(0) == 3
+    assert p.node_at(2) == 0
+
+
+def test_ground_truth_node_delays():
+    g = _truth(path=(3, 2, 0), times=(0.0, 4.0, 10.0))
+    assert g.node_delay_ms(0) == pytest.approx(4.0)
+    assert g.node_delay_ms(1) == pytest.approx(6.0)
+    assert g.node_delays() == [4.0, 6.0]
+
+
+def test_ground_truth_validates_alignment():
+    with pytest.raises(ValueError):
+        _truth(path=(1, 0), times=(0.0, 1.0, 2.0))
+
+
+def test_bundle_requires_ground_truth_for_received():
+    with pytest.raises(ValueError):
+        TraceBundle(received=[_received()], ground_truth={})
+
+
+def test_bundle_queries():
+    received = [
+        _received(source=1, seqno=0, path=(1, 0), t0=5.0),
+        _received(source=2, seqno=0, path=(2, 1, 0), t0=1.0),
+    ]
+    truth = {p.packet_id: _truth(p.packet_id.source, p.packet_id.seqno,
+                                 p.path, tuple(np.linspace(0, 10, len(p.path))))
+             for p in received}
+    bundle = TraceBundle(received=received, ground_truth=truth)
+    assert bundle.num_received == 2
+    ordered = bundle.sorted_by_generation()
+    assert ordered[0].packet_id.source == 2
+    assert len(bundle.packets_through(1)) == 2
+    assert len(bundle.packets_through(2)) == 1
+
+
+def test_delivery_ratio():
+    p = _received()
+    bundle = TraceBundle(
+        received=[p],
+        ground_truth={p.packet_id: _truth()},
+        lost_packets=[PacketId(9, 0), PacketId(9, 1), PacketId(9, 2)],
+    )
+    assert bundle.delivery_ratio == pytest.approx(0.25)
+
+
+def test_restrict_keeps_ground_truth():
+    received = [_received(seqno=i, t0=float(i)) for i in range(4)]
+    truth = {
+        p.packet_id: _truth(seqno=p.packet_id.seqno) for p in received
+    }
+    bundle = TraceBundle(received=received, ground_truth=truth)
+    smaller = bundle.restrict([received[0].packet_id, received[2].packet_id])
+    assert smaller.num_received == 2
+    assert len(smaller.ground_truth) == 4  # oracle untouched
+
+
+def test_drop_random_packets_rate():
+    received = [_received(seqno=i, t0=float(i)) for i in range(500)]
+    truth = {p.packet_id: _truth(seqno=p.packet_id.seqno) for p in received}
+    bundle = TraceBundle(received=received, ground_truth=truth)
+    dropped = drop_random_packets(bundle, 0.3, np.random.default_rng(0))
+    remaining = dropped.num_received / bundle.num_received
+    assert 0.6 < remaining < 0.8
+
+
+def test_drop_random_rejects_bad_rate():
+    bundle = TraceBundle()
+    with pytest.raises(ValueError):
+        drop_random_packets(bundle, 1.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        drop_random_packets(bundle, -0.1, np.random.default_rng(0))
+
+
+def test_drop_zero_is_identity():
+    received = [_received(seqno=i) for i in range(10)]
+    truth = {p.packet_id: _truth(seqno=p.packet_id.seqno) for p in received}
+    bundle = TraceBundle(received=received, ground_truth=truth)
+    same = drop_random_packets(bundle, 0.0, np.random.default_rng(0))
+    assert same.num_received == 10

@@ -1,0 +1,117 @@
+"""Tests for the traffic models."""
+
+import numpy as np
+import pytest
+
+from repro.sim import NetworkConfig, Simulator
+from repro.sim.workloads import (
+    BurstyTraffic,
+    EventTraffic,
+    PeriodicTraffic,
+    PoissonTraffic,
+    default_workload,
+)
+
+
+def _run(workload, seed=2, duration=40_000.0):
+    config = NetworkConfig(
+        num_nodes=16,
+        placement="grid",
+        duration_ms=duration,
+        packet_period_ms=4_000.0,
+        seed=seed,
+        workload=workload,
+    )
+    simulator = Simulator(config)
+    trace = simulator.run()
+    return simulator, trace
+
+
+def _generation_gaps(simulator, node_id):
+    times = [
+        entry.local_time_ms
+        for entry in simulator.nodes[node_id].log
+        if entry.kind == "gen"
+    ]
+    return np.diff(times)
+
+
+def test_periodic_traffic_spacing():
+    simulator, trace = _run(PeriodicTraffic(period_ms=4_000.0, jitter=0.1))
+    gaps = _generation_gaps(simulator, 5)
+    assert len(gaps) >= 5
+    assert np.all(gaps >= 4_000.0 * 0.9 - 1e-6)
+    assert np.all(gaps <= 4_000.0 * 1.1 + 1e-6)
+
+
+def test_default_workload_matches_config_fields():
+    workload = default_workload(
+        NetworkConfig(packet_period_ms=1234.0, period_jitter=0.05)
+    )
+    assert workload.period_ms == 1234.0
+    assert workload.jitter == 0.05
+
+
+def test_poisson_traffic_is_irregular():
+    simulator, trace = _run(
+        PoissonTraffic(mean_interval_ms=2_000.0), duration=60_000.0
+    )
+    gaps = _generation_gaps(simulator, 5)
+    assert len(gaps) >= 10
+    # Exponential gaps: coefficient of variation near 1 (periodic ~ 0).
+    cv = np.std(gaps) / np.mean(gaps)
+    assert cv > 0.5
+
+
+def test_bursty_traffic_generates_bursts():
+    simulator, trace = _run(
+        BurstyTraffic(period_ms=8_000.0, burst_size=3, intra_burst_ms=40.0)
+    )
+    gaps = _generation_gaps(simulator, 5)
+    small = np.sum(gaps < 200.0)
+    large = np.sum(gaps > 4_000.0)
+    assert small >= large, "bursts should dominate the gap distribution"
+    counts = simulator.nodes[5].stats.generated
+    assert counts % 3 == 0 or counts >= 3
+
+
+def test_event_traffic_correlates_nearby_nodes():
+    simulator, trace = _run(
+        EventTraffic(
+            event_interval_ms=5_000.0,
+            event_radius_m=60.0,
+            background_period_ms=50_000.0,
+        ),
+        duration=60_000.0,
+    )
+    # Collect generation times network-wide; events create clusters where
+    # several distinct sources fire within the response spread.
+    generations = []
+    for node_id, node in simulator.nodes.items():
+        for entry in node.log:
+            if entry.kind == "gen":
+                generations.append((entry.local_time_ms, node_id))
+    assert len(generations) > 20
+
+
+def test_reconstruction_works_on_all_workloads():
+    """Domo must handle every arrival process, not just periodic."""
+    from repro.core.pipeline import DomoConfig, DomoReconstructor
+
+    for workload in (
+        PeriodicTraffic(period_ms=4_000.0),
+        PoissonTraffic(mean_interval_ms=4_000.0),
+        BurstyTraffic(period_ms=10_000.0, burst_size=2),
+    ):
+        _, trace = _run(workload, duration=30_000.0)
+        if trace.num_received < 20:
+            continue
+        estimate = DomoReconstructor(DomoConfig()).estimate(trace)
+        errors = []
+        for p in trace.received:
+            truth = trace.truth_of(p.packet_id).node_delays()
+            errors.extend(
+                abs(a - b)
+                for a, b in zip(estimate.delays_of(p.packet_id), truth)
+            )
+        assert float(np.mean(errors)) < 15.0, f"workload {workload}"

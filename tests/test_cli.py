@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_command(capsys):
+    code = main(
+        ["simulate", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "received packets" in out
+    assert "delivery ratio" in out
+
+
+def test_estimate_command(capsys):
+    code = main(
+        ["estimate", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean error" in out
+
+
+def test_report_command(capsys):
+    code = main(
+        ["report", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "== trace ==" in out
+    assert "slowest nodes" in out
+
+
+def test_save_and_load_trace_roundtrip(capsys, tmp_path):
+    path = str(tmp_path / "trace.json.gz")
+    assert main(
+        ["simulate", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2", "--save-trace", path]
+    ) == 0
+    first = capsys.readouterr().out
+    assert main(["simulate", "--trace", path]) == 0
+    second = capsys.readouterr().out
+    assert first.splitlines()[0] == second.splitlines()[0]
+
+
+def test_compare_command(capsys):
+    code = main(
+        ["compare", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2", "--bound-packets", "20"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Domo" in out
+    assert "MNT" in out
+    assert "MessageTracing" in out
