@@ -1,0 +1,85 @@
+"""Parallel window-solve scaling: serial vs process-pool execution.
+
+The estimation pipeline's windows are independent subproblems, so wall
+clock should drop as workers are added — the first step toward the
+ROADMAP's sharding/batching scale-out. This benchmark runs the same
+multi-window trace through :class:`DomoReconstructor` serially and with
+2 / all-core pools, checks the estimates are *identical* (the executor's
+contract), and reports the speedup.
+
+On single-core machines the speedup assertion is skipped (process pools
+cannot beat serial without a second core); identity is always enforced.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import simulated_trace
+from repro.analysis.tables import format_sweep_table
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+
+#: node count for the scaling trace — small enough for CI smoke runs,
+#: large enough to produce several windows.
+SCALE_NODES = 49
+SCALE_DURATION_MS = 60_000.0
+
+
+def _estimate(trace, workers: int):
+    """One reconstruction; returns (result, wall_clock_seconds)."""
+    config = DomoConfig(parallel=workers > 1, max_workers=workers)
+    domo = DomoReconstructor(config)
+    started = time.perf_counter()
+    result = domo.estimate(trace)
+    return result, time.perf_counter() - started
+
+
+def _scaling_sweep(trace, worker_counts):
+    baseline, base_seconds = _estimate(trace, workers=1)
+    rows = [[1, base_seconds, 1.0, baseline.stats["execution_mode"]]]
+    for workers in worker_counts:
+        result, seconds = _estimate(trace, workers=workers)
+        assert result.arrival_times == baseline.arrival_times, (
+            f"parallel run with {workers} workers diverged from serial"
+        )
+        rows.append(
+            [workers, seconds, base_seconds / seconds,
+             result.stats["execution_mode"]]
+        )
+    return rows
+
+
+def test_parallel_scaling(benchmark):
+    trace = simulated_trace(
+        num_nodes=SCALE_NODES, duration_ms=SCALE_DURATION_MS
+    )
+    cores = os.cpu_count() or 1
+    worker_counts = sorted({2, cores} - {1})
+    rows = benchmark.pedantic(
+        _scaling_sweep, args=(trace, worker_counts), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(
+        ["workers", "seconds", "speedup", "mode"], rows
+    ))
+    if cores >= 2:
+        parallel_rows = [r for r in rows if r[0] >= 2 and r[3] == "parallel"]
+        assert parallel_rows, "no parallel run executed"
+        best = max(r[2] for r in parallel_rows)
+        assert best > 1.0, f"no speedup over serial (best {best:.2f}x)"
+
+
+def main() -> None:
+    trace = simulated_trace(
+        num_nodes=SCALE_NODES, duration_ms=SCALE_DURATION_MS
+    )
+    cores = os.cpu_count() or 1
+    print(f"trace: {trace.num_received} packets, {cores} cores\n")
+    rows = _scaling_sweep(trace, sorted({2, cores} - {1}))
+    print(format_sweep_table(["workers", "seconds", "speedup", "mode"], rows))
+    print("\nparallel estimates identical to serial: OK")
+
+
+if __name__ == "__main__":
+    main()

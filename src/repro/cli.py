@@ -27,6 +27,15 @@ from repro.core.pipeline import DomoConfig, DomoReconstructor
 from repro.sim import simulate_network
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=100)
     parser.add_argument("--duration", type=float, default=120.0,
@@ -79,9 +88,20 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _domo_config(args) -> DomoConfig:
+    """DomoConfig honoring the CLI's --workers knob."""
+    workers = getattr(args, "workers", None)
+    return DomoConfig(
+        parallel=workers is not None and workers > 1,
+        max_workers=workers,
+    )
+
+
 def _cmd_estimate(args) -> int:
+    from repro.runtime.telemetry import format_telemetry_report
+
     trace = _obtain_trace(args)
-    domo = DomoReconstructor(DomoConfig())
+    domo = DomoReconstructor(_domo_config(args))
     estimate = domo.estimate(trace)
     errors = []
     for p in trace.received:
@@ -93,6 +113,10 @@ def _cmd_estimate(args) -> int:
     print(f"mean error           : {np.mean(errors):.3f} ms")
     print(f"fraction < 4 ms      : {np.mean(np.asarray(errors) < 4):.2f}")
     print(f"time per delay       : {estimate.time_per_delay_ms:.2f} ms")
+    if args.solver_stats:
+        print()
+        print("solver telemetry")
+        print(format_telemetry_report(estimate.stats))
     return 0
 
 
@@ -143,6 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     estimate = commands.add_parser("estimate", help="Domo estimation demo")
     _add_scenario_arguments(estimate)
+    estimate.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="solve windows on a process pool with this many workers "
+             "(>1 enables parallel execution; results are identical)",
+    )
+    estimate.add_argument(
+        "--solver-stats", action="store_true",
+        help="print per-run solver telemetry (iterations, residuals, "
+             "window timings, status tally)",
+    )
     estimate.set_defaults(handler=_cmd_estimate)
 
     compare = commands.add_parser("compare", help="Domo vs MNT vs MsgTracing")

@@ -24,7 +24,7 @@ import scipy.sparse as sp
 from repro.core.constraints import ConstraintSystem
 from repro.core.records import ArrivalKey
 from repro.optim.qp import QPProblem, QPSettings, solve_qp
-from repro.optim.result import SolverError
+from repro.optim.result import SolverError, SolverResult
 
 
 @dataclass
@@ -109,10 +109,24 @@ def estimate_arrival_times(
     Raises :class:`~repro.optim.result.SolverError` when the QP solver
     cannot reach a usable point.
     """
+    estimates, _ = estimate_arrival_times_info(system, config)
+    return estimates
+
+
+def estimate_arrival_times_info(
+    system: ConstraintSystem,
+    config: EstimatorConfig | None = None,
+) -> tuple[dict[ArrivalKey, float], SolverResult | None]:
+    """Like :func:`estimate_arrival_times`, also returning the solver result.
+
+    The second element carries the QP's iteration count, residuals and
+    solve time for telemetry; it is ``None`` for the trivial zero-unknown
+    window (no solve happens).
+    """
     config = config or EstimatorConfig()
     n = system.num_unknowns
     if n == 0:
-        return {}
+        return {}, None
 
     lows, highs = system.variable_bounds()
     lows = np.asarray(lows)
@@ -164,7 +178,8 @@ def estimate_arrival_times(
     # ADMM satisfies the box only to its primal tolerance; clamp the
     # estimates into their (always valid) intervals.
     solution = np.clip(result.x, lows - t_ref, highs - t_ref) + t_ref
-    return {
+    estimates = {
         key: float(solution[system.variables.index_of(key)])
         for key in system.variables
     }
+    return estimates, result

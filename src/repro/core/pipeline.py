@@ -22,11 +22,10 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.bounds import BoundComputer, BoundResult, BoundsConfig
 from repro.core.constraints import ConstraintConfig, build_constraints
-from repro.core.estimator import EstimatorConfig, estimate_arrival_times
+from repro.core.estimator import EstimatorConfig
 from repro.core.preprocessor import build_window_systems, choose_window_span
 from repro.core.records import ArrivalKey, TraceIndex
-from repro.core.sdr import SdrConfig, solve_window_sdr
-from repro.optim.result import SolverError
+from repro.core.sdr import SdrConfig
 from repro.sim.packet import PacketId
 from repro.sim.trace import ReceivedPacket, TraceBundle
 
@@ -53,6 +52,12 @@ class DomoConfig:
     #: paper §IV.C: vertices per extracted sub-graph.
     graph_cut_size: int = 10_000
     use_blp: bool = True
+    #: solve the independent window subproblems in a process pool. The
+    #: result is byte-identical to a serial run; a pool that cannot be
+    #: created degrades to serial automatically.
+    parallel: bool = False
+    #: worker processes for the parallel executor; None = os.cpu_count().
+    max_workers: int | None = None
     constraints: ConstraintConfig = field(default_factory=ConstraintConfig)
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
     sdr: SdrConfig = field(default_factory=SdrConfig)
@@ -62,9 +67,20 @@ class DomoConfig:
             raise ValueError(
                 f"fifo_mode {self.fifo_mode!r} not in {FIFO_MODES}"
             )
-        self.constraints.omega_ms = self.omega_ms
-        self.estimator.epsilon_ms = self.epsilon_ms
-        self.sdr.estimator = self.estimator
+        if self.window_span_ms is not None and self.window_span_ms <= 0.0:
+            raise ValueError(
+                f"window_span_ms must be positive, got {self.window_span_ms}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        # Propagate the top-level knobs into *copies* of the sub-configs:
+        # mutating user-supplied objects in place would cross-contaminate
+        # a ConstraintConfig/SdrConfig shared between two DomoConfigs.
+        self.constraints = replace(self.constraints, omega_ms=self.omega_ms)
+        self.estimator = replace(self.estimator, epsilon_ms=self.epsilon_ms)
+        self.sdr = replace(self.sdr, estimator=self.estimator)
 
 
 @dataclass
@@ -168,11 +184,23 @@ class DomoReconstructor:
     # ------------------------------------------------------------------
 
     def estimate(self, trace) -> DelayReconstruction:
-        """Estimated arrival times via windowed Eq. (8) optimization."""
+        """Estimated arrival times via windowed Eq. (8) optimization.
+
+        With ``config.parallel`` the independent window subproblems run
+        on a process pool; the merged result is identical to a serial
+        run (same solves, merged in window order).
+        """
+        # Imported here, not at module scope: repro.runtime builds on the
+        # core solving modules, so a top-level import would be circular.
+        from repro.runtime.executor import WindowSolveSpec, execute_windows
+        from repro.runtime.telemetry import summarize_telemetry
+
         packets = self._as_packets(trace)
         config = self.config
-        span = config.window_span_ms or choose_window_span(
-            packets, config.target_window_packets
+        span = (
+            config.window_span_ms
+            if config.window_span_ms is not None
+            else choose_window_span(packets, config.target_window_packets)
         )
         started = time.perf_counter()
         systems = build_window_systems(
@@ -181,21 +209,27 @@ class DomoReconstructor:
             window_span_ms=span,
             effective_ratio=config.effective_window_ratio,
         )
+        report = execute_windows(
+            systems,
+            WindowSolveSpec(
+                fifo_mode=config.fifo_mode,
+                estimator=config.estimator,
+                sdr=config.sdr,
+            ),
+            parallel=config.parallel,
+            max_workers=config.max_workers,
+        )
         estimates: dict[ArrivalKey, float] = {}
-        stats = {"sdr_windows": 0, "linearized_windows": 0, "failed_windows": 0}
-        for ws in systems:
-            try:
-                window_estimates = self._solve_window(ws.system, stats)
-            except SolverError:
-                stats["failed_windows"] += 1
-                window_estimates = {
-                    key: 0.5 * (lo + hi)
-                    for key, (lo, hi) in ws.system.intervals.items()
-                    if key in ws.system.variables
-                }
-            for key, value in window_estimates.items():
-                if key.packet_id in ws.kept_ids:
-                    estimates[key] = value
+        for result in report.results:
+            estimates.update(result.estimates)
+        stats = summarize_telemetry(
+            [result.telemetry for result in report.results]
+        )
+        stats["execution_mode"] = report.mode
+        stats["workers"] = report.workers
+        if report.fallback_reason is not None:
+            stats["parallel_fallback_reason"] = report.fallback_reason
+        stats["window_span_ms"] = span
         elapsed = time.perf_counter() - started
 
         # Assemble full arrival vectors (fall back to interval midpoints
@@ -220,16 +254,6 @@ class DomoReconstructor:
             solve_time_s=elapsed,
             stats=stats,
         )
-
-    def _solve_window(self, system, stats) -> dict[ArrivalKey, float]:
-        if (
-            self.config.fifo_mode == "sdr"
-            and 0 < system.num_unknowns <= self.config.sdr.max_unknowns
-        ):
-            stats["sdr_windows"] += 1
-            return solve_window_sdr(system, self.config.sdr)
-        stats["linearized_windows"] += 1
-        return estimate_arrival_times(system, self.config.estimator)
 
     # ------------------------------------------------------------------
 

@@ -33,6 +33,16 @@ class WindowSystem:
     system: ConstraintSystem
     kept_ids: set[PacketId]
 
+    @property
+    def num_packets(self) -> int:
+        """Packets whose constraints entered this window's system."""
+        return len(self.index.packets)
+
+    @property
+    def num_unknowns(self) -> int:
+        """Unknown arrival times this window solves for."""
+        return self.system.num_unknowns
+
 
 def choose_window_span(
     packets: list[ReceivedPacket],

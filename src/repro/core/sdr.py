@@ -30,7 +30,7 @@ import scipy.sparse as sp
 from repro.core.constraints import ConstraintSystem
 from repro.core.estimator import EstimatorConfig, enumerate_pairs, _linear_form
 from repro.core.records import ArrivalKey
-from repro.optim.result import SolverError
+from repro.optim.result import SolverError, SolverResult
 from repro.optim.sdp import PSDBlock, SDPProblem, SDPSettings, solve_sdp
 
 INF = float("inf")
@@ -76,8 +76,20 @@ def solve_window_sdr(
     system: ConstraintSystem, config: SdrConfig | None = None
 ) -> dict[ArrivalKey, float]:
     """Estimate a window's unknown arrival times via the full SDR lift."""
-    solution, _, _, _ = _solve_lifted(system, config or SdrConfig())
+    solution, _ = solve_window_sdr_info(system, config)
     return solution
+
+
+def solve_window_sdr_info(
+    system: ConstraintSystem, config: SdrConfig | None = None
+) -> tuple[dict[ArrivalKey, float], SolverResult | None]:
+    """Like :func:`solve_window_sdr`, also returning the SDP solver result.
+
+    The second element carries iteration counts, residuals and solve time
+    for telemetry; it is ``None`` for the trivial zero-unknown window.
+    """
+    solution, _, _, _, result = _solve_lifted(system, config or SdrConfig())
+    return solution, result
 
 
 def sdr_bounds(
@@ -103,8 +115,8 @@ def sdr_bounds(
     n = system.num_unknowns
     objective = np.zeros(n)
     objective[column] = 1.0
-    low, _, _, _ = _solve_lifted(system, config, objective=objective)
-    high, _, _, _ = _solve_lifted(system, config, objective=-objective)
+    low, _, _, _, _ = _solve_lifted(system, config, objective=objective)
+    high, _, _, _, _ = _solve_lifted(system, config, objective=-objective)
     lo_interval, hi_interval = system.intervals[key]
     lower = max(low[key], lo_interval)
     upper = min(high[key], hi_interval)
@@ -117,8 +129,15 @@ def _solve_lifted(
     system: ConstraintSystem,
     config: SdrConfig,
     objective: np.ndarray | None = None,
-) -> tuple[dict[ArrivalKey, float], np.ndarray, np.ndarray, tuple[float, float]]:
-    """Run the lifted solve; also return (u, U) and the (t_ref, scale) frame.
+) -> tuple[
+    dict[ArrivalKey, float],
+    np.ndarray,
+    np.ndarray,
+    tuple[float, float],
+    SolverResult | None,
+]:
+    """Run the lifted solve; also return (u, U), the (t_ref, scale) frame
+    and the raw :class:`SolverResult` (``None`` when nothing was solved).
 
     ``objective`` (a vector over the unknowns) replaces the Eq. (8)
     objective when given — used by :func:`sdr_bounds` for min/max of a
@@ -126,7 +145,7 @@ def _solve_lifted(
     """
     n = system.num_unknowns
     if n == 0:
-        return {}, np.zeros(0), np.zeros((0, 0)), (0.0, 1.0)
+        return {}, np.zeros(0), np.zeros((0, 0)), (0.0, 1.0), None
     if n > config.max_unknowns:
         raise ValueError(
             f"window has {n} unknowns > SDR cap {config.max_unknowns}; "
@@ -255,7 +274,7 @@ def _solve_lifted(
         key: float(solution_vec[system.variables.index_of(key)])
         for key in system.variables
     }
-    return solution, u, U, (t_ref, scale)
+    return solution, u, U, (t_ref, scale), result
 
 
 def solve_window_sdr_randomized(
@@ -275,7 +294,7 @@ def solve_window_sdr_randomized(
     """
     config = config or SdrConfig()
     rng = rng or np.random.default_rng()
-    mean_solution, u, U, (t_ref, scale) = _solve_lifted(system, config)
+    mean_solution, u, U, (t_ref, scale), _ = _solve_lifted(system, config)
     n = system.num_unknowns
     if n == 0:
         return {}

@@ -15,6 +15,7 @@ constraints) is exactly this shape.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -96,8 +97,11 @@ def solve_qp(
     """
     cfg = problem.settings
     n, m = problem.num_variables, problem.num_constraints
+    started = time.perf_counter()
     if m == 0:
-        return _solve_unconstrained(problem)
+        result = _solve_unconstrained(problem)
+        result.solve_time_s = time.perf_counter() - started
+        return result
 
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=float)
     z = np.clip(problem.A @ x, problem.lower, problem.upper)
@@ -148,7 +152,12 @@ def solve_qp(
         iterations=iteration,
         primal_residual=primal_res,
         dual_residual=dual_res,
-        info={"dual": y},
+        solve_time_s=time.perf_counter() - started,
+        info={
+            "dual": y,
+            "num_variables": n,
+            "num_constraints": m,
+        },
     )
 
 

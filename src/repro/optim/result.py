@@ -44,6 +44,7 @@ class SolverResult:
         iterations: iterations performed (0 for direct methods).
         primal_residual: final primal feasibility residual (inf-norm).
         dual_residual: final dual feasibility residual (inf-norm).
+        solve_time_s: wall-clock time spent inside the solver.
         info: free-form solver-specific details.
     """
 
@@ -53,6 +54,7 @@ class SolverResult:
     iterations: int = 0
     primal_residual: float = float("nan")
     dual_residual: float = float("nan")
+    solve_time_s: float = 0.0
     info: dict = field(default_factory=dict)
 
     def require_usable(self) -> "SolverResult":

@@ -16,6 +16,7 @@ eigenvalue projection onto the PSD cone.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -110,6 +111,7 @@ def solve_sdp(problem: SDPProblem, x0: np.ndarray | None = None) -> SolverResult
     each PSD part onto the cone via eigenvalue clipping.
     """
     cfg = problem.settings
+    started = time.perf_counter()
     n = problem.num_variables
     m_box = problem.A.shape[0]
 
@@ -174,6 +176,7 @@ def solve_sdp(problem: SDPProblem, x0: np.ndarray | None = None) -> SolverResult
         iterations=iteration,
         primal_residual=primal_res,
         dual_residual=dual_res,
+        solve_time_s=time.perf_counter() - started,
     )
 
 

@@ -1,0 +1,183 @@
+"""Parallel window-solve engine for the estimation pipeline (§IV.B).
+
+The overlapping time windows of the paper are independent subproblems:
+each window's Eq. (8) QP (or SDR lift) reads only its own
+:class:`~repro.core.preprocessor.WindowSystem`. This module fans those
+solves out over a :class:`concurrent.futures.ProcessPoolExecutor` while
+guaranteeing that parallel and serial execution produce *identical*
+estimates: the same :func:`solve_one_window` function runs in both modes
+and results are merged in window order, so the only difference is which
+process executes each solve.
+
+Robustness rules:
+
+* serial execution is the default and the fallback — a pool that cannot
+  be created or that breaks mid-run (missing ``fork``/``spawn`` support,
+  unpicklable payloads, killed workers) degrades to in-process solving
+  rather than failing the reconstruction;
+* a window whose solver raises :class:`~repro.optim.result.SolverError`
+  falls back to interval midpoints inside the worker, exactly as the
+  serial pipeline always did, and is tallied as a ``fallback`` window in
+  the telemetry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pickle import PicklingError
+
+from repro.core.estimator import EstimatorConfig, estimate_arrival_times_info
+from repro.core.preprocessor import WindowSystem
+from repro.core.records import ArrivalKey
+from repro.core.sdr import SdrConfig, solve_window_sdr_info
+from repro.optim.result import SolverError
+from repro.runtime.telemetry import WindowTelemetry
+
+
+@dataclass(frozen=True)
+class WindowSolveSpec:
+    """Everything a worker needs to solve one window (picklable)."""
+
+    fifo_mode: str = "linearized"
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    sdr: SdrConfig = field(default_factory=SdrConfig)
+
+
+@dataclass
+class WindowResult:
+    """Kept estimates plus the telemetry record of one window solve."""
+
+    window_index: int
+    estimates: dict[ArrivalKey, float]
+    telemetry: WindowTelemetry
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of a full window sweep, results in window order."""
+
+    results: list[WindowResult]
+    #: "serial" or "parallel" — what actually ran (after any fallback).
+    mode: str
+    #: worker processes used (1 for serial).
+    workers: int
+    #: why a requested parallel run degraded to serial, if it did.
+    fallback_reason: str | None = None
+
+
+def solve_one_window(
+    window_index: int, ws: WindowSystem, spec: WindowSolveSpec
+) -> WindowResult:
+    """Solve one window and keep only its keep-region estimates.
+
+    This is the single code path shared by serial and parallel execution;
+    :class:`~repro.optim.result.SolverError` degrades to interval
+    midpoints (never raises).
+    """
+    started = time.perf_counter()
+    system = ws.system
+    solver = "linearized"
+    status = "optimal"
+    iterations = 0
+    primal = dual = float("nan")
+    try:
+        if system.num_unknowns == 0:
+            solver = "empty"
+            estimates, result = {}, None
+        elif (
+            spec.fifo_mode == "sdr"
+            and system.num_unknowns <= spec.sdr.max_unknowns
+        ):
+            solver = "sdr"
+            estimates, result = solve_window_sdr_info(system, spec.sdr)
+        else:
+            estimates, result = estimate_arrival_times_info(
+                system, spec.estimator
+            )
+        if result is not None:
+            status = result.status.value
+            iterations = result.iterations
+            primal = result.primal_residual
+            dual = result.dual_residual
+    except SolverError:
+        solver = "fallback"
+        status = "fallback"
+        estimates = {
+            key: 0.5 * (lo + hi)
+            for key, (lo, hi) in system.intervals.items()
+            if key in system.variables
+        }
+    kept = {
+        key: value
+        for key, value in estimates.items()
+        if key.packet_id in ws.kept_ids
+    }
+    telemetry = WindowTelemetry(
+        window_index=window_index,
+        num_packets=ws.num_packets,
+        num_unknowns=system.num_unknowns,
+        num_kept=len(kept),
+        solver=solver,
+        status=status,
+        iterations=iterations,
+        primal_residual=primal,
+        dual_residual=dual,
+        solve_time_s=time.perf_counter() - started,
+    )
+    return WindowResult(
+        window_index=window_index, estimates=kept, telemetry=telemetry
+    )
+
+
+def _solve_entry(payload) -> WindowResult:
+    """Module-level pool target (must be picklable by name)."""
+    window_index, ws, spec = payload
+    return solve_one_window(window_index, ws, spec)
+
+
+def resolve_worker_count(
+    num_windows: int, max_workers: int | None = None
+) -> int:
+    """Workers actually worth starting for ``num_windows`` subproblems."""
+    available = max_workers if max_workers is not None else os.cpu_count() or 1
+    return max(1, min(available, num_windows))
+
+
+def execute_windows(
+    systems: list[WindowSystem],
+    spec: WindowSolveSpec,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> ExecutionReport:
+    """Solve every window, in a process pool when asked and worthwhile.
+
+    Results come back ordered by window index regardless of completion
+    order, so downstream merging is deterministic and parallel runs are
+    estimate-for-estimate identical to serial ones.
+    """
+    payloads = [
+        (index, ws, spec) for index, ws in enumerate(systems)
+    ]
+    workers = resolve_worker_count(len(systems), max_workers)
+    if not parallel or workers <= 1 or len(systems) <= 1:
+        return ExecutionReport(
+            results=[_solve_entry(p) for p in payloads],
+            mode="serial",
+            workers=1,
+        )
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_solve_entry, payloads))
+        return ExecutionReport(results=results, mode="parallel", workers=workers)
+    except (BrokenProcessPool, PicklingError, OSError, RuntimeError) as exc:
+        # Degrade gracefully: a broken pool must not fail the run.
+        return ExecutionReport(
+            results=[_solve_entry(p) for p in payloads],
+            mode="serial",
+            workers=1,
+            fallback_reason=f"{type(exc).__name__}: {exc}",
+        )

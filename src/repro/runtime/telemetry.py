@@ -1,0 +1,119 @@
+"""Structured solver telemetry for the windowed estimation pipeline.
+
+Each window solve produces one :class:`WindowTelemetry` record — which
+solver ran, how it terminated, how many ADMM iterations it took, the
+final residuals and the wall-clock time. :func:`summarize_telemetry`
+folds a run's records into the flat ``stats`` dict exposed on
+:class:`~repro.core.pipeline.DelayReconstruction`, and
+:func:`format_telemetry_report` renders an operator-readable summary for
+the CLI's ``--solver-stats`` path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: solver kinds a window solve can report.
+SOLVER_KINDS = ("linearized", "sdr", "fallback", "empty")
+
+
+@dataclass(frozen=True)
+class WindowTelemetry:
+    """Observability record of one window solve."""
+
+    #: position of the window in the planned sequence (0-based).
+    window_index: int
+    #: packets whose constraints entered this window's system.
+    num_packets: int
+    #: unknown arrival times solved for.
+    num_unknowns: int
+    #: estimates kept from this window (keep-region packets).
+    num_kept: int
+    #: "linearized" (Eq. (8) QP), "sdr" (lifted SDP), "fallback"
+    #: (SolverError -> interval midpoints) or "empty" (no unknowns).
+    solver: str
+    #: solver termination status value (e.g. "optimal"), or "fallback".
+    status: str
+    #: ADMM iterations performed (0 when nothing iterated).
+    iterations: int
+    #: final primal/dual residuals (inf-norm; NaN when not solved).
+    primal_residual: float
+    dual_residual: float
+    #: wall-clock seconds spent solving this window.
+    solve_time_s: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def summarize_telemetry(records: list[WindowTelemetry]) -> dict:
+    """Aggregate per-window records into the pipeline's ``stats`` dict.
+
+    Keeps the pre-existing keys (``sdr_windows``, ``linearized_windows``,
+    ``failed_windows``) so callers written against the serial pipeline
+    keep working, and layers the new observability totals on top.
+    """
+    stats = {
+        "windows": len(records),
+        "sdr_windows": 0,
+        "linearized_windows": 0,
+        "failed_windows": 0,
+        "empty_windows": 0,
+        "total_unknowns": 0,
+        "total_iterations": 0,
+        "window_solve_time_s": 0.0,
+        "max_window_solve_time_s": 0.0,
+        "max_primal_residual": 0.0,
+        "max_dual_residual": 0.0,
+        "status_counts": {},
+    }
+    for record in records:
+        key = {
+            "linearized": "linearized_windows",
+            "sdr": "sdr_windows",
+            "fallback": "failed_windows",
+            "empty": "empty_windows",
+        }.get(record.solver)
+        if key is not None:
+            stats[key] += 1
+        stats["total_unknowns"] += record.num_unknowns
+        stats["total_iterations"] += record.iterations
+        stats["window_solve_time_s"] += record.solve_time_s
+        stats["max_window_solve_time_s"] = max(
+            stats["max_window_solve_time_s"], record.solve_time_s
+        )
+        for field in ("primal_residual", "dual_residual"):
+            value = getattr(record, field)
+            if value == value:  # skip NaN
+                stats[f"max_{field}"] = max(stats[f"max_{field}"], value)
+        stats["status_counts"][record.status] = (
+            stats["status_counts"].get(record.status, 0) + 1
+        )
+    stats["window_telemetry"] = [record.as_dict() for record in records]
+    return stats
+
+
+def format_telemetry_report(stats: dict) -> str:
+    """Human-readable multi-line summary of a run's solver telemetry."""
+    lines = [
+        f"windows solved       : {stats.get('windows', 0)}",
+        f"  linearized / sdr   : {stats.get('linearized_windows', 0)}"
+        f" / {stats.get('sdr_windows', 0)}",
+        f"  failed (fallback)  : {stats.get('failed_windows', 0)}",
+        f"execution mode       : {stats.get('execution_mode', 'serial')}"
+        f" (workers: {stats.get('workers', 1)})",
+        f"total unknowns       : {stats.get('total_unknowns', 0)}",
+        f"total ADMM iterations: {stats.get('total_iterations', 0)}",
+        f"window solve time    : {stats.get('window_solve_time_s', 0.0):.3f} s"
+        f" (slowest window "
+        f"{stats.get('max_window_solve_time_s', 0.0):.3f} s)",
+        f"max primal residual  : {stats.get('max_primal_residual', 0.0):.3g}",
+        f"max dual residual    : {stats.get('max_dual_residual', 0.0):.3g}",
+    ]
+    counts = stats.get("status_counts", {})
+    if counts:
+        rendered = ", ".join(
+            f"{status}: {count}" for status, count in sorted(counts.items())
+        )
+        lines.append(f"status tally         : {rendered}")
+    return "\n".join(lines)

@@ -34,6 +34,103 @@ def test_config_validates_fifo_mode():
         DomoConfig(fifo_mode="quantum")
 
 
+def test_config_rejects_zero_window_span():
+    """Regression: span 0.0 used to silently fall through to auto-sizing."""
+    with pytest.raises(ValueError):
+        DomoConfig(window_span_ms=0.0)
+    with pytest.raises(ValueError):
+        DomoConfig(window_span_ms=-5.0)
+
+
+def test_config_rejects_bad_max_workers():
+    with pytest.raises(ValueError):
+        DomoConfig(max_workers=0)
+    with pytest.raises(ValueError):
+        DomoConfig(max_workers=-2)
+
+
+def test_explicit_window_span_is_honored(trace):
+    config = DomoConfig(window_span_ms=9_000.0)
+    estimate = DomoReconstructor(config).estimate(trace.received[:60])
+    assert estimate.stats["window_span_ms"] == pytest.approx(9_000.0)
+
+
+def test_shared_subconfigs_are_not_cross_contaminated():
+    """Regression: __post_init__ used to mutate user sub-configs in place."""
+    from repro.core.constraints import ConstraintConfig
+    from repro.core.estimator import EstimatorConfig
+    from repro.core.sdr import SdrConfig
+
+    shared_constraints = ConstraintConfig()
+    shared_estimator = EstimatorConfig()
+    shared_sdr = SdrConfig()
+    one = DomoConfig(
+        omega_ms=1.0, epsilon_ms=500.0,
+        constraints=shared_constraints, estimator=shared_estimator,
+        sdr=shared_sdr,
+    )
+    two = DomoConfig(
+        omega_ms=3.0, epsilon_ms=2_000.0,
+        constraints=shared_constraints, estimator=shared_estimator,
+        sdr=shared_sdr,
+    )
+    # The user's objects are untouched...
+    assert shared_constraints.omega_ms == ConstraintConfig().omega_ms
+    assert shared_estimator.epsilon_ms == EstimatorConfig().epsilon_ms
+    assert shared_sdr.estimator is not one.estimator
+    # ...and each DomoConfig owns an independent copy.
+    assert one.constraints.omega_ms == 1.0
+    assert two.constraints.omega_ms == 3.0
+    assert one.estimator.epsilon_ms == 500.0
+    assert two.estimator.epsilon_ms == 2_000.0
+    assert one.sdr.estimator.epsilon_ms == 500.0
+    assert two.sdr.estimator.epsilon_ms == 2_000.0
+
+
+def test_parallel_estimate_identical_to_serial(trace):
+    packets = trace.received[:120]
+    serial = DomoReconstructor(DomoConfig()).estimate(packets)
+    parallel = DomoReconstructor(
+        DomoConfig(parallel=True, max_workers=2)
+    ).estimate(packets)
+    assert parallel.stats["execution_mode"] == "parallel"
+    assert serial.arrival_times == parallel.arrival_times
+    assert serial.estimates == parallel.estimates
+
+
+def test_estimate_stats_expose_solver_telemetry(estimate):
+    stats = estimate.stats
+    assert stats["windows"] == estimate.windows_used
+    assert stats["execution_mode"] == "serial"
+    assert stats["workers"] == 1
+    assert stats["total_iterations"] > 0
+    assert stats["window_solve_time_s"] > 0.0
+    assert len(stats["window_telemetry"]) == estimate.windows_used
+    for record in stats["window_telemetry"]:
+        assert record["solver"] in ("linearized", "sdr", "fallback", "empty")
+        assert record["solve_time_s"] >= 0.0
+    assert sum(stats["status_counts"].values()) == estimate.windows_used
+
+
+def test_failed_windows_counted_and_fallback_estimates_used(
+    trace, monkeypatch
+):
+    from repro.optim.result import SolverError, SolverStatus
+
+    def boom(system, config=None):
+        raise SolverError(SolverStatus.ITERATION_LIMIT, "forced failure")
+
+    monkeypatch.setattr(
+        "repro.runtime.executor.estimate_arrival_times_info", boom
+    )
+    estimate = DomoReconstructor(DomoConfig()).estimate(trace.received[:80])
+    assert estimate.windows_used >= 1
+    assert estimate.stats["failed_windows"] == estimate.windows_used
+    # Coverage is preserved: every packet still gets a full vector.
+    for p in trace.received[:80]:
+        assert len(estimate.arrival_times[p.packet_id]) == p.path_length
+
+
 def test_estimate_covers_every_received_packet(trace, estimate):
     assert set(estimate.arrival_times) == {
         p.packet_id for p in trace.received

@@ -81,6 +81,42 @@ def test_window_members_contain_kept_ids():
         assert ws.kept_ids <= member_ids
 
 
+def test_keep_boundary_packet_kept_exactly_once():
+    """A t0 exactly on a keep-region boundary belongs to one window only.
+
+    With span 2000 and ratio 0.5 the keep regions tile at multiples of
+    1000 ms; half-open [keep_start, keep_end) intervals mean a packet
+    generated exactly at a boundary is kept by the *later* window and
+    only that one.
+    """
+    received = []
+    for seqno, t0 in enumerate([0.0, 500.0, 1000.0, 1500.0, 2000.0,
+                                2500.0, 3000.0, 3500.0, 4000.0]):
+        packet, _ = make_received(2, seqno, (2, 0), (t0, t0 + 10.0))
+        received.append(packet)
+    systems = build_window_systems(
+        received,
+        ConstraintConfig(),
+        window_span_ms=2_000.0,
+        effective_ratio=0.5,
+    )
+    assert len(systems) >= 2
+    keep_counts: dict[PacketId, int] = {}
+    boundary_pids = set()
+    for p in received:
+        if p.generation_time_ms % 1_000.0 == 0.0:
+            boundary_pids.add(p.packet_id)
+    for ws in systems:
+        for pid in ws.kept_ids:
+            keep_counts[pid] = keep_counts.get(pid, 0) + 1
+    assert boundary_pids  # the scenario does exercise exact boundaries
+    for p in received:
+        assert keep_counts.get(p.packet_id, 0) == 1, (
+            f"packet at t0={p.generation_time_ms} kept "
+            f"{keep_counts.get(p.packet_id, 0)} times"
+        )
+
+
 def test_empty_input():
     assert build_window_systems([], ConstraintConfig(), 1000.0) == []
 

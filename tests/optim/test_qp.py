@@ -162,3 +162,23 @@ def test_scalar_projection_property(target, cap):
     result = solve_qp(problem)
     if result.status.is_usable:
         assert result.x[0] == pytest.approx(min(target, cap), abs=1e-3)
+
+
+def test_solve_reports_timing_and_problem_shape():
+    problem = _qp([[2.0]], [-6.0], [[1.0]], [-INF], [1.0])
+    result = solve_qp(problem).require_usable()
+    assert result.solve_time_s > 0.0
+    assert result.info["num_variables"] == 1
+    assert result.info["num_constraints"] == 1
+
+
+def test_unconstrained_solve_reports_timing():
+    problem = QPProblem(
+        P=sp.csc_matrix([[2.0]]),
+        q=np.array([-6.0]),
+        A=sp.csr_matrix((0, 1)),
+        lower=np.empty(0),
+        upper=np.empty(0),
+    )
+    result = solve_qp(problem)
+    assert result.solve_time_s > 0.0

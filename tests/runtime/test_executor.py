@@ -1,0 +1,119 @@
+"""Tests of the parallel window-solve engine."""
+
+import pytest
+
+from repro.core.constraints import ConstraintConfig
+from repro.core.preprocessor import build_window_systems
+from repro.optim.result import SolverError, SolverStatus
+from repro.runtime.executor import (
+    WindowSolveSpec,
+    execute_windows,
+    resolve_worker_count,
+    solve_one_window,
+)
+
+from tests.core.conftest import make_received
+
+
+def _stream(num_sources=4, packets_per_source=12, period=500.0):
+    """Periodic two-hop traffic through forwarder 1 (interior unknowns)."""
+    received = []
+    for source in range(2, 2 + num_sources):
+        for seqno in range(packets_per_source):
+            t0 = seqno * period + source * 17.0
+            packet, _ = make_received(
+                source, seqno, (source, 1, 0), (t0, t0 + 10.0, t0 + 20.0)
+            )
+            received.append(packet)
+    return received
+
+
+def _systems(span_ms=2_000.0):
+    return build_window_systems(
+        _stream(), ConstraintConfig(), window_span_ms=span_ms
+    )
+
+
+def test_serial_and_parallel_results_identical():
+    systems = _systems()
+    assert len(systems) >= 2
+    spec = WindowSolveSpec()
+    serial = execute_windows(systems, spec, parallel=False)
+    parallel = execute_windows(systems, spec, parallel=True, max_workers=2)
+    assert serial.mode == "serial"
+    assert parallel.mode == "parallel"
+    assert parallel.workers == 2
+    assert len(serial.results) == len(parallel.results)
+    for left, right in zip(serial.results, parallel.results):
+        assert left.window_index == right.window_index
+        assert left.estimates == right.estimates  # bit-identical floats
+        assert left.telemetry.solver == right.telemetry.solver
+        assert left.telemetry.status == right.telemetry.status
+
+
+def test_results_come_back_in_window_order():
+    systems = _systems()
+    report = execute_windows(
+        systems, WindowSolveSpec(), parallel=True, max_workers=2
+    )
+    assert [r.window_index for r in report.results] == list(
+        range(len(systems))
+    )
+
+
+def test_single_window_runs_serially_even_when_parallel_requested():
+    systems = _systems(span_ms=1e9)
+    assert len(systems) == 1
+    report = execute_windows(
+        systems, WindowSolveSpec(), parallel=True, max_workers=4
+    )
+    assert report.mode == "serial"
+    assert report.workers == 1
+    assert report.fallback_reason is None
+
+
+def test_max_workers_one_disables_the_pool():
+    report = execute_windows(
+        _systems(), WindowSolveSpec(), parallel=True, max_workers=1
+    )
+    assert report.mode == "serial"
+
+
+def test_resolve_worker_count_caps():
+    assert resolve_worker_count(10, max_workers=4) == 4
+    assert resolve_worker_count(2, max_workers=16) == 2
+    assert resolve_worker_count(5, max_workers=None) >= 1
+    assert resolve_worker_count(0, max_workers=8) == 1
+
+
+def test_solver_error_falls_back_to_interval_midpoints(monkeypatch):
+    systems = _systems()
+    ws = systems[0]
+
+    def boom(system, config=None):
+        raise SolverError(SolverStatus.NUMERICAL_ERROR, "forced failure")
+
+    monkeypatch.setattr(
+        "repro.runtime.executor.estimate_arrival_times_info", boom
+    )
+    result = solve_one_window(0, ws, WindowSolveSpec())
+    assert result.telemetry.solver == "fallback"
+    assert result.telemetry.status == "fallback"
+    # Kept estimates exist and equal the interval midpoints.
+    assert result.estimates
+    for key, value in result.estimates.items():
+        lo, hi = ws.system.intervals[key]
+        assert value == pytest.approx(0.5 * (lo + hi))
+        assert key.packet_id in ws.kept_ids
+
+
+def test_telemetry_records_solve_shape():
+    systems = _systems()
+    report = execute_windows(systems, WindowSolveSpec())
+    for ws, result in zip(systems, report.results):
+        telemetry = result.telemetry
+        assert telemetry.num_packets == ws.num_packets
+        assert telemetry.num_unknowns == ws.num_unknowns
+        assert telemetry.num_kept == len(result.estimates)
+        assert telemetry.solver == "linearized"
+        assert telemetry.solve_time_s >= 0.0

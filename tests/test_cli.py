@@ -31,6 +31,20 @@ def test_estimate_command(capsys):
     assert "mean error" in out
 
 
+def test_estimate_command_with_workers_and_stats(capsys):
+    code = main(
+        ["estimate", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2", "--workers", "2", "--solver-stats"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean error" in out
+    assert "solver telemetry" in out
+    assert "windows solved" in out
+    assert "execution mode       : parallel (workers: 2)" in out
+    assert "status tally" in out
+
+
 def test_report_command(capsys):
     code = main(
         ["report", "--nodes", "16", "--duration", "20", "--period", "3",
