@@ -8,11 +8,17 @@ Subcommands::
         Simulate, run Domo's estimated-value reconstruction, report error.
     domo compare   --nodes 100 --seed 1
         The Fig. 6 comparison: Domo vs MNT vs MessageTracing.
+    domo faults    --nodes 16 --rates 0.1,0.3 --seed 7
+        Seeded fault-injection campaign through the hardened pipeline.
+
+Operational errors — a missing, truncated or non-JSON trace file —
+print a one-line message and exit with code 2 instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 import numpy as np
 
@@ -47,6 +53,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="load a saved trace instead of simulating")
     parser.add_argument("--save-trace", type=str, default=None,
                         help="save the (simulated) trace to this path")
+    parser.add_argument(
+        "--validate", choices=("off", "strict", "repair", "drop"),
+        default="repair",
+        help="trace-ingestion validation mode (default: repair — "
+             "quarantine impossible records, distrust suspect S(p) fields)")
 
 
 def _scenario(args):
@@ -58,12 +69,27 @@ def _scenario(args):
     )
 
 
+def _validation_config(args):
+    from repro.core.validation import ValidationConfig
+
+    return ValidationConfig(mode=getattr(args, "validate", "repair"))
+
+
 def _obtain_trace(args):
     """Load the trace from disk or simulate it, honoring --save-trace."""
     from repro.sim.io import load_trace, save_trace
 
     if args.trace:
-        trace = load_trace(args.trace)
+        trace = load_trace(args.trace, validation=_validation_config(args))
+        report = trace.validation_report
+        if report is not None and not report.clean:
+            summary = report.as_dict()
+            print(
+                f"validation: {summary['quarantined_packets']} quarantined, "
+                f"{summary['distrusted_sums']} distrusted, "
+                f"{summary['malformed_records']} malformed records dropped",
+                file=sys.stderr,
+            )
     else:
         trace = simulate_network(_scenario(args))
     if args.save_trace:
@@ -89,11 +115,12 @@ def _cmd_simulate(args) -> int:
 
 
 def _domo_config(args) -> DomoConfig:
-    """DomoConfig honoring the CLI's --workers knob."""
+    """DomoConfig honoring the CLI's --workers and --validate knobs."""
     workers = getattr(args, "workers", None)
     return DomoConfig(
         parallel=workers is not None and workers > 1,
         max_workers=workers,
+        validation=_validation_config(args),
     )
 
 
@@ -154,6 +181,46 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _parse_rates(text: str) -> tuple[float, ...]:
+    try:
+        rates = tuple(float(part) for part in text.split(",") if part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"rates must be comma-separated numbers, got {text!r}"
+        ) from None
+    if not rates or not all(0.0 <= r <= 1.0 for r in rates):
+        raise argparse.ArgumentTypeError(
+            f"rates must lie in [0, 1], got {text!r}"
+        )
+    return rates
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults import (
+        DEFAULT_INJECTORS,
+        format_campaign_table,
+        make_injector,
+        run_campaign,
+    )
+
+    trace = _obtain_trace(args)
+    if args.kinds:
+        injectors = [
+            make_injector(kind.strip()) for kind in args.kinds.split(",")
+        ]
+    else:
+        injectors = list(DEFAULT_INJECTORS)
+    result = run_campaign(
+        trace,
+        injectors=injectors,
+        rates=args.rates,
+        seed=args.seed,
+        config=_domo_config(args),
+    )
+    print(format_campaign_table(result))
+    return 0 if result.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="domo",
@@ -190,12 +257,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_arguments(report)
     report.set_defaults(handler=_cmd_report)
+
+    faults = commands.add_parser(
+        "faults", help="seeded fault-injection campaign"
+    )
+    _add_scenario_arguments(faults)
+    faults.add_argument(
+        "--rates", type=_parse_rates, default=(0.1, 0.2, 0.3),
+        help="comma-separated fault rates (default 0.1,0.2,0.3)")
+    faults.add_argument(
+        "--kinds", type=str, default=None,
+        help="comma-separated injector kinds (default: all)")
+    faults.set_defaults(handler=_cmd_faults)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as exc:
+        # Operational failures (unreadable/corrupt trace files, strict
+        # validation rejections) get a one-line error, not a traceback.
+        print(f"domo: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -30,6 +30,12 @@ from repro.core.pipeline import (
     DomoReconstructor,
 )
 from repro.core.records import ArrivalKey, TraceIndex
+from repro.core.validation import (
+    TraceValidationError,
+    ValidationConfig,
+    ValidationReport,
+    validate_packets,
+)
 from repro.core.windows import TimeWindow, plan_windows
 
 __all__ = [
@@ -43,10 +49,14 @@ __all__ = [
     "FifoPair",
     "TimeWindow",
     "TraceIndex",
+    "TraceValidationError",
+    "ValidationConfig",
+    "ValidationReport",
     "average_displacement",
     "bound_width_stats",
     "build_constraints",
     "compute_candidate_sets",
     "estimation_error_stats",
     "plan_windows",
+    "validate_packets",
 ]

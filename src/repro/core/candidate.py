@@ -91,3 +91,23 @@ def compute_candidate_sets(
         guaranteed=guaranteed,
         anchored=not index.has_seqno_gap(previous, packet),
     )
+
+
+def loss_evidence(index: TraceIndex) -> int:
+    """Number of observable seqno gaps across all source streams.
+
+    A gap between consecutive *received* local packets of one source
+    means at least one packet was lost (or quarantined at ingestion).
+    Eq. (6) — ``S(p) <= D(p) + sum over C(p)`` — only holds loss-free: a
+    lost packet's delay may be inside ``S(p)`` but absent from ``C(p)``.
+    The degradation ladder uses this count to decide whether to downgrade
+    the sum constraints to the loss-tolerant C*(p)-only form (Eq. (7)).
+    """
+    sources = {p.packet_id.source for p in index.packets}
+    gaps = 0
+    for source in sources:
+        own = index.local_packets_of(source)
+        for previous, packet in zip(own, own[1:]):
+            if index.has_seqno_gap(previous, packet):
+                gaps += 1
+    return gaps

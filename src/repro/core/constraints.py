@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.candidate import compute_candidate_sets
+from repro.core.candidate import compute_candidate_sets, loss_evidence
 from repro.core.intervals import (
     Interval,
     clip_to_valid,
@@ -86,6 +86,17 @@ class ConstraintConfig:
     fifo_departure_margin_ms: float = 0.0
     #: rounds of resolve-then-propagate iteration.
     resolution_rounds: int = 3
+    #: packet ids whose S(p) field was flagged by validation (wrapped,
+    #: saturated, repaired): their Eq. (6)/(7) rows are skipped entirely —
+    #: a corrupt sum poisons both directions.
+    distrusted_sum_ids: frozenset = frozenset()
+    #: constraint-level degradation: when True and the window shows loss
+    #: evidence (seqno gaps, or quarantined packets upstream), the
+    #: loss-unsafe Eq. (6) upper rows are suppressed, falling back to the
+    #: C*(p)-only Eq. (7) form the paper guarantees under loss. Off by
+    #: default (seed behavior); the pipeline turns it on when validation
+    #: detects corruption.
+    loss_aware_sums: bool = False
 
 
 @dataclass
@@ -368,11 +379,29 @@ def _add_fifo_rows(system: ConstraintSystem, config: ConstraintConfig):
 
 
 def _add_sum_rows(system: ConstraintSystem, config: ConstraintConfig):
-    """Eq. (6)/(7): bracket each S(p) by candidate-set delay sums."""
+    """Eq. (6)/(7): bracket each S(p) by candidate-set delay sums.
+
+    Degradation hooks (robustness tier): packets whose S(p) was flagged
+    by validation contribute no sum rows at all; with ``loss_aware_sums``
+    and loss evidence in the window, the loss-unsafe Eq. (6) rows are
+    suppressed (C*(p)-only degradation). Both events are counted in
+    ``system.stats``.
+    """
     emitted_lower = emitted_upper = 0
+    distrusted_skips = degraded_upper = 0
+    unanchored = 0
+    suppress_upper = (
+        config.loss_aware_sums and loss_evidence(system.index) > 0
+    )
     for packet in system.index.packets:
+        if packet.packet_id in config.distrusted_sum_ids:
+            distrusted_skips += 1
+            continue
         sets = compute_candidate_sets(system.index, packet)
-        if sets is None or not sets.anchored:
+        if sets is None:
+            continue
+        if not sets.anchored:
+            unanchored += 1
             continue
         own_terms = {
             ArrivalKey(packet.packet_id, 1): 1.0,
@@ -394,11 +423,14 @@ def _add_sum_rows(system: ConstraintSystem, config: ConstraintConfig):
         emitted_lower += 1
 
         # Eq. (6): S(p) <= D(p) + sum over C(p). Only holds loss-free;
-        # kept optional and size-capped.
+        # kept optional, size-capped, and suppressed under loss evidence.
         if (
             config.use_upper_sum
             and len(sets.possible) <= config.max_possible_set
         ):
+            if suppress_upper:
+                degraded_upper += 1
+                continue
             terms = dict(own_terms)
             for candidate, hop in sets.possible:
                 _accumulate_delay_terms(terms, candidate.packet_id, hop)
@@ -410,6 +442,9 @@ def _add_sum_rows(system: ConstraintSystem, config: ConstraintConfig):
             emitted_upper += 1
     system.stats["sum_lower_rows"] = emitted_lower
     system.stats["sum_upper_rows"] = emitted_upper
+    system.stats["sum_rows_distrusted"] = distrusted_skips
+    system.stats["sum_upper_degraded"] = degraded_upper
+    system.stats["sum_unanchored"] = unanchored
 
 
 def _accumulate_delay_terms(

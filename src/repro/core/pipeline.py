@@ -26,6 +26,11 @@ from repro.core.estimator import EstimatorConfig
 from repro.core.preprocessor import build_window_systems, choose_window_span
 from repro.core.records import ArrivalKey, TraceIndex
 from repro.core.sdr import SdrConfig
+from repro.core.validation import (
+    ValidationConfig,
+    ValidationReport,
+    validate_packets,
+)
 from repro.sim.packet import PacketId
 from repro.sim.trace import ReceivedPacket, TraceBundle
 
@@ -58,6 +63,11 @@ class DomoConfig:
     parallel: bool = False
     #: worker processes for the parallel executor; None = os.cpu_count().
     max_workers: int | None = None
+    #: trace-ingestion validation (strict/repair/drop/off). The default
+    #: "repair" mode is a no-op on clean traces — estimates stay
+    #: byte-identical to the unvalidated pipeline — and quarantines or
+    #: distrusts corrupt packets on dirty ones.
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
     constraints: ConstraintConfig = field(default_factory=ConstraintConfig)
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
     sdr: SdrConfig = field(default_factory=SdrConfig)
@@ -81,6 +91,7 @@ class DomoConfig:
         self.constraints = replace(self.constraints, omega_ms=self.omega_ms)
         self.estimator = replace(self.estimator, epsilon_ms=self.epsilon_ms)
         self.sdr = replace(self.sdr, estimator=self.estimator)
+        self.validation = replace(self.validation, omega_ms=self.omega_ms)
 
 
 @dataclass
@@ -173,13 +184,57 @@ class DomoReconstructor:
             return list(trace.received)
         return list(trace)
 
-    def _constraint_config(self) -> ConstraintConfig:
+    def _prepare(
+        self, trace
+    ) -> tuple[list[ReceivedPacket], ValidationReport]:
+        """Validate the input packets and fold in any ingest-time report.
+
+        In the default ``repair`` mode a clean trace passes through with
+        the same objects in the same order, so the hardened pipeline is
+        byte-identical to the seed pipeline on clean data.
+        """
+        packets = self._as_packets(trace)
+        packets, report = validate_packets(packets, self.config.validation)
+        ingest = getattr(trace, "validation_report", None)
+        if isinstance(ingest, ValidationReport):
+            report.merge(ingest)
+        return packets, report
+
+    def _constraint_config(
+        self, report: ValidationReport | None = None
+    ) -> ConstraintConfig:
         cfg = self.config.constraints
         if self.config.fifo_mode == "none":
             # Ablation: suppress pair resolution entirely by giving the
             # enumerator an empty horizon.
-            return replace(cfg, fifo_horizon_ms=0.0)
+            cfg = replace(cfg, fifo_horizon_ms=0.0)
+        if report is not None and not report.clean:
+            # Detected corruption arms the constraint-level degradation:
+            # flagged S(p) fields emit no sum rows, and quarantined
+            # packets (= known loss) downgrade Eq. (6) to the
+            # loss-tolerant C*(p)-only Eq. (7) form.
+            cfg = replace(
+                cfg,
+                distrusted_sum_ids=frozenset(report.distrusted_sums),
+                loss_aware_sums=(
+                    cfg.loss_aware_sums or report.num_quarantined > 0
+                ),
+            )
         return cfg
+
+    @staticmethod
+    def _degradation_stats(report: ValidationReport, systems) -> dict:
+        """Degradation counters merged into the reconstruction stats."""
+        degraded = sum(
+            ws.system.stats.get("sum_rows_distrusted", 0)
+            + ws.system.stats.get("sum_upper_degraded", 0)
+            for ws in systems
+        )
+        return {
+            "quarantined_packets": report.num_quarantined,
+            "degraded_constraints": degraded,
+            "validation": report.as_dict(),
+        }
 
     # ------------------------------------------------------------------
 
@@ -195,7 +250,7 @@ class DomoReconstructor:
         from repro.runtime.executor import WindowSolveSpec, execute_windows
         from repro.runtime.telemetry import summarize_telemetry
 
-        packets = self._as_packets(trace)
+        packets, vreport = self._prepare(trace)
         config = self.config
         span = (
             config.window_span_ms
@@ -205,7 +260,7 @@ class DomoReconstructor:
         started = time.perf_counter()
         systems = build_window_systems(
             packets,
-            self._constraint_config(),
+            self._constraint_config(vreport),
             window_span_ms=span,
             effective_ratio=config.effective_window_ratio,
         )
@@ -230,6 +285,7 @@ class DomoReconstructor:
         if report.fallback_reason is not None:
             stats["parallel_fallback_reason"] = report.fallback_reason
         stats["window_span_ms"] = span
+        stats.update(self._degradation_stats(vreport, systems))
         elapsed = time.perf_counter() - started
 
         # Assemble full arrival vectors (fall back to interval midpoints
@@ -263,10 +319,10 @@ class DomoReconstructor:
         packet_ids: list[PacketId] | None = None,
     ) -> BoundReconstruction:
         """Lower/upper bounds via per-target sub-graph LPs (§IV.C)."""
-        packets = self._as_packets(trace)
+        packets, vreport = self._prepare(trace)
         config = self.config
         index = TraceIndex(packets, omega_ms=config.omega_ms)
-        system = build_constraints(index, self._constraint_config())
+        system = build_constraints(index, self._constraint_config(vreport))
         computer = BoundComputer(
             system,
             BoundsConfig(
@@ -284,9 +340,18 @@ class DomoReconstructor:
             keys = None
         results: dict[ArrivalKey, BoundResult] = computer.bounds_for_all(keys)
         elapsed = time.perf_counter() - started
+        degraded = system.stats.get("sum_rows_distrusted", 0) + system.stats.get(
+            "sum_upper_degraded", 0
+        )
         return BoundReconstruction(
             bounds=results,
             index=index,
             solve_time_s=elapsed,
-            stats={**system.stats, **computer.stats},
+            stats={
+                **system.stats,
+                **computer.stats,
+                "quarantined_packets": vreport.num_quarantined,
+                "degraded_constraints": degraded,
+                "validation": vreport.as_dict(),
+            },
         )

@@ -1,0 +1,393 @@
+"""Trace-ingestion validation: quarantine, repair, distrust (robustness tier).
+
+Real deployments hand the PC side dirty traces: time reconstruction can
+produce ``t_sink < t0``, the 2-byte S(p) field wraps or saturates, records
+get duplicated or truncated in flash, and paths reported by the path
+reconstruction layer can be inconsistent. The seed pipeline assumed a
+clean trace; this module makes corruption a first-class input.
+
+Three validation modes:
+
+* ``strict`` — any malformed or physically impossible packet raises
+  :class:`TraceValidationError` (fail-fast for archival pipelines);
+* ``repair`` (default) — wire-impossible field values are clamped into
+  range and the affected constraints *distrusted*; impossible records
+  (inverted timestamps, looping paths, duplicates) are quarantined;
+* ``drop`` — anything suspicious is quarantined outright.
+
+Actions are graded by soundness:
+
+* **quarantine** removes a record entirely — used only when the record is
+  wire- or time-impossible (its constraints would poison the solve);
+* **distrust** keeps the packet but marks its sum-of-delays field as
+  unusable, so constraint building skips its Eq. (6)/(7) rows — always
+  sound, it only costs constraint strength;
+* **repair** rewrites a field to the nearest legal value (and distrusts
+  the result).
+
+The resulting :class:`ValidationReport` is merged into
+``DelayReconstruction.stats`` by the pipeline, so every degradation event
+is visible to operators. On a clean trace, validation returns the input
+list unchanged (same objects, same order) — the hardened pipeline is
+byte-identical to the seed pipeline there.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.sim.packet import SUM_OF_DELAYS_MAX_MS
+from repro.sim.trace import ReceivedPacket
+
+#: accepted validation modes ("off" bypasses validation entirely).
+VALIDATION_MODES = ("off", "strict", "repair", "drop")
+
+
+class TraceValidationError(ValueError):
+    """A trace failed strict validation (message names packet and field)."""
+
+
+@dataclass
+class ValidationConfig:
+    """Knobs of trace-ingestion validation."""
+
+    #: "off", "strict", "repair" (default) or "drop".
+    mode: str = "repair"
+    #: minimum per-hop processing delay used for the timestamp sanity
+    #: check ``t_sink >= t0 + (|p|-1) * omega`` (the pipeline overrides
+    #: this with its own omega).
+    omega_ms: float = 1.0
+    #: slack absorbed by S(p) quantization and clock drift, ms.
+    sum_slack_ms: float = 2.0
+    #: S(p) is flagged as exceeding the end-to-end budget when it is
+    #: larger than ``budget_factor * (t_sink(p) - first t0 in trace)``
+    #: plus the slack. Sojourn times of co-queued packets overlap, so a
+    #: legitimate sum can exceed wall-clock time; the generous factor
+    #: keeps false positives out while still catching wrapped/corrupt
+    #: accumulators. Distrust is sound either way (only constraint
+    #: strength is lost).
+    budget_factor: float = 4.0
+    #: treat a saturated S(p) == 65535 as untrustworthy (the true sum may
+    #: be anything larger).
+    distrust_saturated_sum: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in VALIDATION_MODES:
+            raise ValueError(
+                f"validation mode {self.mode!r} not in {VALIDATION_MODES}"
+            )
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One detected problem: which packet, which field, what was done."""
+
+    packet_id: object
+    field: str
+    reason: str
+    #: "quarantined", "repaired" or "distrusted".
+    action: str
+
+    def as_dict(self) -> dict:
+        return {
+            "packet_id": str(self.packet_id),
+            "field": self.field,
+            "reason": self.reason,
+            "action": self.action,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one packet collection."""
+
+    mode: str
+    total_packets: int = 0
+    issues: list[ValidationIssue] = field(default_factory=list)
+    #: packet ids removed from the trace.
+    quarantined: list = field(default_factory=list)
+    #: packet ids whose sum-of-delays constraints must not be emitted.
+    distrusted_sums: set = field(default_factory=set)
+    #: malformed raw records dropped before packets even existed
+    #: (filled by :func:`sanitize_trace_dict`).
+    malformed_records: int = 0
+
+    @property
+    def num_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    @property
+    def num_distrusted(self) -> int:
+        return len(self.distrusted_sums)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues and self.malformed_records == 0
+
+    def reason_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for issue in self.issues:
+            counts[issue.reason] = counts.get(issue.reason, 0) + 1
+        return counts
+
+    def add(self, packet_id, field_name: str, reason: str, action: str):
+        self.issues.append(
+            ValidationIssue(packet_id, field_name, reason, action)
+        )
+
+    def as_dict(self) -> dict:
+        """Flat form merged into ``DelayReconstruction.stats``."""
+        return {
+            "mode": self.mode,
+            "total_packets": self.total_packets,
+            "quarantined_packets": self.num_quarantined,
+            "distrusted_sums": self.num_distrusted,
+            "malformed_records": self.malformed_records,
+            "reason_counts": self.reason_counts(),
+        }
+
+    def merge(self, other: "ValidationReport") -> None:
+        """Fold another report (e.g. the ingest-time one) into this."""
+        self.issues.extend(other.issues)
+        self.quarantined.extend(other.quarantined)
+        self.distrusted_sums.update(other.distrusted_sums)
+        self.malformed_records += other.malformed_records
+
+
+# ----------------------------------------------------------------------
+# Packet-level validation
+# ----------------------------------------------------------------------
+
+
+def _finite(*values: float) -> bool:
+    return all(math.isfinite(v) for v in values)
+
+
+def _strict(packet_id, field_name: str, reason: str):
+    raise TraceValidationError(
+        f"packet {packet_id}: field {field_name!r} {reason}"
+    )
+
+
+def validate_packets(
+    packets: list[ReceivedPacket],
+    config: ValidationConfig | None = None,
+) -> tuple[list[ReceivedPacket], ValidationReport]:
+    """Validate a received-packet list per the configured mode.
+
+    Returns the surviving (possibly repaired) packets in their original
+    order plus the report. When nothing is wrong the *input objects* are
+    returned unchanged, so a clean trace reconstructs byte-identically to
+    the unvalidated pipeline.
+    """
+    config = config or ValidationConfig()
+    report = ValidationReport(mode=config.mode, total_packets=len(packets))
+    if config.mode == "off":
+        return list(packets), report
+
+    strict = config.mode == "strict"
+    drop = config.mode == "drop"
+    first_t0 = min(
+        (p.generation_time_ms for p in packets if _finite(p.generation_time_ms)),
+        default=0.0,
+    )
+    seen_ids: set = set()
+    survivors: list[ReceivedPacket] = []
+    for packet in packets:
+        pid = packet.packet_id
+
+        # --- record-level impossibilities: quarantine (or raise) -------
+        if not _finite(packet.generation_time_ms, packet.sink_arrival_ms):
+            if strict:
+                _strict(pid, "t0/t_sink", "is not finite")
+            report.add(pid, "t0/t_sink", "non_finite_time", "quarantined")
+            report.quarantined.append(pid)
+            continue
+        if len(packet.path) < 2:
+            if strict:
+                _strict(pid, "path", f"too short ({len(packet.path)} nodes)")
+            report.add(pid, "path", "short_path", "quarantined")
+            report.quarantined.append(pid)
+            continue
+        if len(set(packet.path)) != len(packet.path):
+            if strict:
+                _strict(pid, "path", "revisits a node (routing loop)")
+            report.add(pid, "path", "looping_path", "quarantined")
+            report.quarantined.append(pid)
+            continue
+        min_e2e = (packet.path_length - 1) * config.omega_ms
+        if packet.sink_arrival_ms - packet.generation_time_ms < min_e2e:
+            if strict:
+                _strict(
+                    pid, "t_sink",
+                    f"violates t_sink >= t0 + {min_e2e:g} ms "
+                    f"(e2e delay {packet.e2e_delay_ms:g} ms)",
+                )
+            report.add(pid, "t_sink", "impossible_timestamps", "quarantined")
+            report.quarantined.append(pid)
+            continue
+        if pid in seen_ids:
+            if strict:
+                _strict(pid, "id", "is duplicated in the trace")
+            report.add(pid, "id", "duplicate_id", "quarantined")
+            report.quarantined.append(pid)
+            continue
+        seen_ids.add(pid)
+
+        # --- field-level suspicion: repair + distrust (or drop) --------
+        s_value = packet.sum_of_delays_ms
+        if s_value < 0 or s_value > SUM_OF_DELAYS_MAX_MS:
+            if strict:
+                _strict(
+                    pid, "sum_of_delays",
+                    f"= {s_value} outside the 2-byte range "
+                    f"[0, {SUM_OF_DELAYS_MAX_MS}]",
+                )
+            if drop:
+                report.add(pid, "sum_of_delays", "sum_out_of_range",
+                           "quarantined")
+                report.quarantined.append(pid)
+                continue
+            clamped = min(SUM_OF_DELAYS_MAX_MS, max(0, s_value))
+            packet = replace(packet, sum_of_delays_ms=clamped)
+            report.add(pid, "sum_of_delays", "sum_out_of_range", "repaired")
+            report.distrusted_sums.add(pid)
+        elif (
+            config.distrust_saturated_sum
+            and s_value == SUM_OF_DELAYS_MAX_MS
+        ):
+            # A saturated accumulator is a legal wire value, but the true
+            # sum may be anything larger — never an error, always distrust.
+            report.add(pid, "sum_of_delays", "sum_saturated", "distrusted")
+            report.distrusted_sums.add(pid)
+        else:
+            budget = (
+                config.budget_factor
+                * max(0.0, packet.sink_arrival_ms - first_t0)
+                + config.sum_slack_ms
+            )
+            if s_value > budget:
+                if strict:
+                    _strict(
+                        pid, "sum_of_delays",
+                        f"= {s_value} ms exceeds the end-to-end budget "
+                        f"{budget:g} ms (likely 16-bit wraparound)",
+                    )
+                if drop:
+                    report.add(pid, "sum_of_delays", "sum_over_budget",
+                               "quarantined")
+                    report.quarantined.append(pid)
+                    continue
+                report.add(pid, "sum_of_delays", "sum_over_budget",
+                           "distrusted")
+                report.distrusted_sums.add(pid)
+        survivors.append(packet)
+    return survivors, report
+
+
+# ----------------------------------------------------------------------
+# Raw-record (JSON dict) sanitization
+# ----------------------------------------------------------------------
+
+_REQUIRED_RECEIVED_FIELDS = ("id", "path", "t0", "t_sink", "sum_of_delays")
+
+
+def _received_record_error(item) -> str | None:
+    """Why a raw received record cannot be parsed (None when parseable)."""
+    if not isinstance(item, dict):
+        return f"record is {type(item).__name__}, not an object"
+    for name in _REQUIRED_RECEIVED_FIELDS:
+        if name not in item:
+            return f"missing field {name!r}"
+    ident = item["id"]
+    if (
+        not isinstance(ident, (list, tuple))
+        or len(ident) != 2
+        or not all(isinstance(part, (int, float)) for part in ident)
+    ):
+        return f"field 'id' must be a [source, seqno] pair, got {ident!r}"
+    if not isinstance(item["path"], (list, tuple)) or not all(
+        isinstance(node, (int, float)) for node in item["path"]
+    ):
+        return "field 'path' must be a list of node ids"
+    for name in ("t0", "t_sink", "sum_of_delays"):
+        if not isinstance(item[name], (int, float)) or isinstance(
+            item[name], bool
+        ):
+            return f"field {name!r} must be numeric, got {item[name]!r}"
+    return None
+
+
+def _truth_record_error(item) -> str | None:
+    if not isinstance(item, dict):
+        return f"record is {type(item).__name__}, not an object"
+    for name in ("id", "path", "arrivals"):
+        if name not in item:
+            return f"missing field {name!r}"
+    if not isinstance(item["path"], (list, tuple)) or not isinstance(
+        item["arrivals"], (list, tuple)
+    ):
+        return "fields 'path'/'arrivals' must be lists"
+    if len(item["path"]) != len(item["arrivals"]):
+        return "arrivals do not align with the path"
+    if not all(
+        isinstance(t, (int, float)) and not isinstance(t, bool)
+        for t in item["arrivals"]
+    ):
+        return "field 'arrivals' must be numeric"
+    return None
+
+
+def sanitize_trace_dict(data: dict) -> tuple[dict, ValidationReport]:
+    """Drop malformed raw records so :func:`trace_from_dict` can succeed.
+
+    Used by the tolerant ingestion path (``load_trace(..., validation=)``
+    and the fault campaign): truncated or type-corrupted records are
+    removed and counted instead of raising. A received record whose
+    ground-truth twin was dropped is removed too (scoring alignment).
+    """
+    report = ValidationReport(mode="repair")
+    if not isinstance(data, dict):
+        raise TraceValidationError(
+            f"trace payload is {type(data).__name__}, not an object"
+        )
+    cleaned = dict(data)
+
+    good_truth = []
+    for item in data.get("ground_truth", []):
+        if _truth_record_error(item) is None:
+            good_truth.append(item)
+        else:
+            report.malformed_records += 1
+    truth_ids = {tuple(item["id"]) for item in good_truth}
+
+    good_received = []
+    for item in data.get("received", []):
+        error = _received_record_error(item)
+        if error is not None:
+            report.malformed_records += 1
+            continue
+        if tuple(item["id"]) not in truth_ids:
+            # No scoring twin: unusable for the evaluation harness and a
+            # sign of a truncated archive; drop and count.
+            report.malformed_records += 1
+            continue
+        good_received.append(item)
+
+    cleaned["received"] = good_received
+    cleaned["ground_truth"] = good_truth
+    node_logs = {}
+    for node, log in data.get("node_logs", {}).items():
+        entries = [
+            entry for entry in log
+            if isinstance(entry, (list, tuple)) and len(entry) == 4
+        ]
+        report.malformed_records += len(log) - len(entries)
+        node_logs[node] = entries
+    cleaned["node_logs"] = node_logs
+    cleaned["lost"] = [
+        item for item in data.get("lost", [])
+        if isinstance(item, (list, tuple)) and len(item) == 2
+    ]
+    return cleaned, report

@@ -1,0 +1,44 @@
+"""Fault injection: seeded, composable corruption of collected traces.
+
+The robustness tier's test harness. Injectors operate on the **raw JSON
+dict** form of a trace (:func:`repro.sim.io.trace_to_dict`), the exact
+surface a real deployment's dirty data enters through — so every fault a
+flash archive, a lossy backhaul or a wrapped on-mote counter can produce
+is expressible, including record-level damage (truncation, duplication)
+that the typed in-memory classes cannot represent.
+
+* :mod:`repro.faults.injectors` — the injector registry: received-packet
+  loss, S(p) 16-bit wraparound and saturation, per-node clock skew and
+  drift, duplicated and truncated records, out-of-order sink arrivals,
+  path inconsistencies.
+* :mod:`repro.faults.campaign` — the campaign runner sweeping fault
+  types x rates through the full hardened pipeline, checking that every
+  cell completes without an uncaught exception and that degradation is
+  visible in the reconstruction stats.
+"""
+
+from repro.faults.injectors import (
+    DEFAULT_INJECTORS,
+    FaultInjector,
+    inject,
+    injector_names,
+    make_injector,
+)
+from repro.faults.campaign import (
+    CampaignCell,
+    CampaignResult,
+    format_campaign_table,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "DEFAULT_INJECTORS",
+    "FaultInjector",
+    "format_campaign_table",
+    "inject",
+    "injector_names",
+    "make_injector",
+    "run_campaign",
+]

@@ -1,0 +1,248 @@
+"""Seeded fault injectors over the raw JSON form of a trace.
+
+Every injector is a :class:`FaultInjector`: a named, pure transformation
+``apply(data, rng) -> data`` over the dict produced by
+:func:`repro.sim.io.trace_to_dict`. Injectors never mutate their input
+(they deep-copy the record lists they touch), always draw randomness from
+the passed :class:`numpy.random.Generator` (same seed -> same faults),
+and compose: ``inject(data, [a, b], rng)`` applies ``a`` then ``b``.
+
+The modeled pathologies, mapped to the paper's failure discussion
+(§IV.A) and to what deployments actually produce:
+
+====================  =================================================
+``delete_received``   received-packet loss (the paper's Fig. 7 sweep);
+``wrap_sum``          S(p) exceeded 65535 ms and wrapped (16-bit
+                      accumulator, §V Table I);
+``saturate_sum``      S(p) pinned at 65535 (clipping firmware);
+``clock_skew``        per-node offset+drift on reconstructed t0 —
+                      breaks t_sink > t0 when large;
+``duplicate``         records replayed by a flaky backhaul;
+``truncate``          records that lost fields in flash;
+``reorder``           sink log not in arrival order;
+``corrupt_path``      path reconstruction errors (dropped, swapped or
+                      repeated interior nodes).
+====================  =================================================
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+#: modulus of the 2-byte sum-of-delays field.
+_SUM_MODULUS = 65536
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """One named fault with its parameters.
+
+    ``rate`` is the fraction of eligible records (or nodes, for
+    ``clock_skew``) affected; ``params`` carries injector-specific knobs.
+    """
+
+    kind: str
+    rate: float = 0.1
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _APPLIERS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {sorted(_APPLIERS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate {self.rate} outside [0, 1]")
+
+    def with_rate(self, rate: float) -> "FaultInjector":
+        return replace(self, rate=rate)
+
+    def apply(self, data: dict, rng: np.random.Generator) -> dict:
+        """Return a faulted deep copy of the trace dict."""
+        faulted = dict(data)
+        faulted["received"] = copy.deepcopy(data.get("received", []))
+        return _APPLIERS[self.kind](faulted, self.rate, self.params, rng)
+
+
+def _pick(records: list, rate: float, rng: np.random.Generator) -> list[int]:
+    """Indices of the records selected at ``rate`` (independent draws)."""
+    return [i for i in range(len(records)) if rng.random() < rate]
+
+
+# ----------------------------------------------------------------------
+# Individual injectors
+# ----------------------------------------------------------------------
+
+
+def _delete_received(data, rate, params, rng):
+    """Drop received records; ground truth is kept for the survivors."""
+    kept = [r for r in data["received"] if rng.random() >= rate]
+    data["received"] = kept
+    return data
+
+
+def _wrap_sum(data, rate, params, rng):
+    """Model a 16-bit accumulator that overflowed one or more times.
+
+    The stored value becomes ``(s + k * 65536) mod 65536 == s`` — so to
+    model the *effect* seen at the sink (a sum that silently lost k *
+    65536 ms) we instead *add* a large delay burst and wrap: the sink
+    reads ``(s + burst) mod 65536``, which is smaller than the true sum
+    whenever the burst pushes past the modulus.
+    """
+    lo = params.get("burst_lo_ms", 40_000)
+    hi = params.get("burst_hi_ms", 200_000)
+    for i in _pick(data["received"], rate, rng):
+        record = dict(data["received"][i])
+        burst = int(rng.integers(lo, hi))
+        record["sum_of_delays"] = (record["sum_of_delays"] + burst) % _SUM_MODULUS
+        data["received"][i] = record
+    return data
+
+
+def _saturate_sum(data, rate, params, rng):
+    """Pin S(p) at the field maximum (clipping firmware)."""
+    for i in _pick(data["received"], rate, rng):
+        record = dict(data["received"][i])
+        record["sum_of_delays"] = _SUM_MODULUS - 1
+        data["received"][i] = record
+    return data
+
+
+def _clock_skew(data, rate, params, rng):
+    """Per-node offset and drift on the reconstructed generation times.
+
+    Models errors of the time-reconstruction layer ([7] in the paper): a
+    fraction ``rate`` of source nodes gets a fixed offset plus a linear
+    drift applied to the t0 of every packet they generated. Large skews
+    produce physically impossible ``t_sink < t0`` records that the
+    validation layer must quarantine.
+    """
+    max_skew = params.get("max_skew_ms", 50.0)
+    drift_ppm = params.get("drift_ppm", 200.0)
+    sources = sorted({tuple(r["id"])[0] for r in data["received"]})
+    skewed = {s for s in sources if rng.random() < rate}
+    offsets = {
+        s: float(rng.uniform(-max_skew, max_skew)) for s in skewed
+    }
+    drifts = {
+        s: float(rng.uniform(-drift_ppm, drift_ppm)) * 1e-6 for s in skewed
+    }
+    for i, record in enumerate(data["received"]):
+        source = tuple(record["id"])[0]
+        if source not in skewed:
+            continue
+        record = dict(record)
+        record["t0"] = (
+            record["t0"]
+            + offsets[source]
+            + drifts[source] * record["t0"]
+        )
+        data["received"][i] = record
+    return data
+
+
+def _duplicate(data, rate, params, rng):
+    """Append duplicate copies of selected records (backhaul replay)."""
+    duplicates = [
+        copy.deepcopy(data["received"][i])
+        for i in _pick(data["received"], rate, rng)
+    ]
+    data["received"] = data["received"] + duplicates
+    return data
+
+
+def _truncate(data, rate, params, rng):
+    """Remove one random field from selected records (flash damage)."""
+    fields = ("path", "t0", "t_sink", "sum_of_delays")
+    for i in _pick(data["received"], rate, rng):
+        record = dict(data["received"][i])
+        record.pop(fields[int(rng.integers(len(fields)))], None)
+        data["received"][i] = record
+    return data
+
+
+def _reorder(data, rate, params, rng):
+    """Shuffle the received list (sink log not in arrival order).
+
+    ``rate`` scales how much of the list is permuted; at any rate > 0
+    the reconstruction must be invariant to the record order.
+    """
+    records = data["received"]
+    chosen = _pick(records, max(rate, 0.0), rng)
+    permuted = list(chosen)
+    rng.shuffle(permuted)
+    reordered = list(records)
+    for src, dst in zip(chosen, permuted):
+        reordered[dst] = records[src]
+    data["received"] = reordered
+    return data
+
+
+def _corrupt_path(data, rate, params, rng):
+    """Damage the reported routing path of selected records.
+
+    Three equally likely corruptions: drop an interior node, swap two
+    interior nodes, or repeat an interior node (a routing loop — which
+    validation quarantines as physically inconsistent).
+    """
+    for i in _pick(data["received"], rate, rng):
+        record = dict(data["received"][i])
+        path = list(record["path"])
+        if len(path) < 3:
+            continue
+        interior = list(range(1, len(path) - 1))
+        mode = int(rng.integers(3))
+        if mode == 0:
+            del path[interior[int(rng.integers(len(interior)))]]
+        elif mode == 1 and len(interior) >= 2:
+            a, b = rng.choice(interior, size=2, replace=False)
+            path[a], path[b] = path[b], path[a]
+        else:
+            j = interior[int(rng.integers(len(interior)))]
+            path.insert(j, path[j])
+        record["path"] = path
+        data["received"][i] = record
+    return data
+
+
+_APPLIERS = {
+    "delete_received": _delete_received,
+    "wrap_sum": _wrap_sum,
+    "saturate_sum": _saturate_sum,
+    "clock_skew": _clock_skew,
+    "duplicate": _duplicate,
+    "truncate": _truncate,
+    "reorder": _reorder,
+    "corrupt_path": _corrupt_path,
+}
+
+#: one instance of every injector at its default rate — the campaign's
+#: default sweep set.
+DEFAULT_INJECTORS: tuple[FaultInjector, ...] = tuple(
+    FaultInjector(kind=kind) for kind in sorted(_APPLIERS)
+)
+
+
+def injector_names() -> list[str]:
+    """Names of all registered fault kinds."""
+    return sorted(_APPLIERS)
+
+
+def make_injector(kind: str, rate: float = 0.1, **params) -> FaultInjector:
+    """Construct an injector by name with keyword parameters."""
+    return FaultInjector(kind=kind, rate=rate, params=dict(params))
+
+
+def inject(
+    data: dict,
+    injectors,
+    rng: np.random.Generator,
+) -> dict:
+    """Apply a sequence of injectors to a trace dict (composition)."""
+    for injector in injectors:
+        data = injector.apply(data, rng)
+    return data

@@ -189,3 +189,15 @@ class ConstraintBuilder:
     def rows_by_tag(self, prefix: str) -> list[ConstraintRow]:
         """All rows whose tag starts with ``prefix``."""
         return [row for row in self._rows if row.tag.startswith(prefix)]
+
+    def filtered(self, keep) -> "ConstraintBuilder":
+        """A new builder holding only the rows whose tag satisfies ``keep``.
+
+        Used by the degradation ladder: an infeasible system is re-solved
+        with whole constraint families (identified by their tag prefixes)
+        removed. Rows are shared, not copied — :class:`ConstraintRow` is
+        frozen, so sharing is safe.
+        """
+        out = ConstraintBuilder(num_variables=self._num_variables)
+        out._rows = [row for row in self._rows if keep(row.tag)]
+        return out

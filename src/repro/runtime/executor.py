@@ -16,9 +16,13 @@ Robustness rules:
   unpicklable payloads, killed workers) degrades to in-process solving
   rather than failing the reconstruction;
 * a window whose solver raises :class:`~repro.optim.result.SolverError`
-  falls back to interval midpoints inside the worker, exactly as the
-  serial pipeline always did, and is tallied as a ``fallback`` window in
-  the telemetry.
+  walks the **degradation ladder** before giving up: the system is
+  re-solved with progressively relaxed constraint families — drop the
+  loss-unsafe Eq. (6) sum-upper rows, then all FIFO rows, then everything
+  but the Eq. (5) order rows — and only when even the order-only system
+  fails does the window fall back to interval midpoints. Each rung is
+  recorded in the window's telemetry (``relax_rung``/``relax_stage``), so
+  a reconstruction that survived dirty data says exactly how.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pickle import PicklingError
 
 from repro.core.estimator import EstimatorConfig, estimate_arrival_times_info
@@ -69,22 +73,67 @@ class ExecutionReport:
     fallback_reason: str | None = None
 
 
+#: the degradation ladder: rung name -> predicate over row tags keeping
+#: the rows that survive at that rung. Walked in order by
+#: :func:`solve_one_window` when the full system cannot be solved.
+RELAXATION_LADDER: tuple[tuple[str, object], ...] = (
+    (
+        "drop_sum_upper",
+        lambda tag: not tag.startswith("sum_hi"),
+    ),
+    (
+        "drop_fifo",
+        lambda tag: not (tag.startswith("sum_hi") or tag.startswith("fifo")),
+    ),
+    (
+        "order_only",
+        lambda tag: tag.startswith("order"),
+    ),
+)
+
+#: rung index reported when even the order-only system failed and the
+#: window fell back to interval midpoints.
+MIDPOINT_RUNG = len(RELAXATION_LADDER) + 1
+
+
+def _relaxed_system(system, keep):
+    """A copy of ``system`` whose builder holds only ``keep``-tagged rows.
+
+    The index, variables and intervals are shared (read-only in the
+    estimator); unresolved FIFO pairs are cleared so an SDR re-solve of a
+    relaxed system would not resurrect the dropped family.
+    """
+    return replace(
+        system,
+        builder=system.builder.filtered(keep),
+        fifo_unresolved=[],
+        stats=dict(system.stats),
+    )
+
+
 def solve_one_window(
     window_index: int, ws: WindowSystem, spec: WindowSolveSpec
 ) -> WindowResult:
     """Solve one window and keep only its keep-region estimates.
 
     This is the single code path shared by serial and parallel execution;
-    :class:`~repro.optim.result.SolverError` degrades to interval
-    midpoints (never raises).
+    :class:`~repro.optim.result.SolverError` walks the relaxation ladder
+    (drop sum-upper -> drop FIFO -> order-only -> interval midpoints) and
+    never raises.
     """
     started = time.perf_counter()
     system = ws.system
     solver = "linearized"
     status = "optimal"
     iterations = 0
+    attempts = 0
+    relax_rung = 0
+    relax_stage = "full"
     primal = dual = float("nan")
+    estimates = None
+    result = None
     try:
+        attempts += 1
         if system.num_unknowns == 0:
             solver = "empty"
             estimates, result = {}, None
@@ -98,19 +147,39 @@ def solve_one_window(
             estimates, result = estimate_arrival_times_info(
                 system, spec.estimator
             )
-        if result is not None:
-            status = result.status.value
-            iterations = result.iterations
-            primal = result.primal_residual
-            dual = result.dual_residual
     except SolverError:
-        solver = "fallback"
-        status = "fallback"
-        estimates = {
-            key: 0.5 * (lo + hi)
-            for key, (lo, hi) in system.intervals.items()
-            if key in system.variables
-        }
+        # Degradation ladder: retry with whole constraint families
+        # removed before surrendering to midpoints. Relaxed re-solves
+        # always use the linearized QP — the SDR lift exists to encode
+        # the FIFO products, which the ladder is discarding anyway.
+        for rung, (stage, keep) in enumerate(RELAXATION_LADDER, start=1):
+            relaxed = _relaxed_system(system, keep)
+            try:
+                attempts += 1
+                estimates, result = estimate_arrival_times_info(
+                    relaxed, spec.estimator
+                )
+                solver = "linearized"
+                relax_rung = rung
+                relax_stage = stage
+                break
+            except SolverError:
+                continue
+        else:
+            solver = "fallback"
+            status = "fallback"
+            relax_rung = MIDPOINT_RUNG
+            relax_stage = "midpoints"
+            estimates = {
+                key: 0.5 * (lo + hi)
+                for key, (lo, hi) in system.intervals.items()
+                if key in system.variables
+            }
+    if result is not None:
+        status = result.status.value
+        iterations = result.iterations
+        primal = result.primal_residual
+        dual = result.dual_residual
     kept = {
         key: value
         for key, value in estimates.items()
@@ -127,6 +196,9 @@ def solve_one_window(
         primal_residual=primal,
         dual_residual=dual,
         solve_time_s=time.perf_counter() - started,
+        relax_rung=relax_rung,
+        relax_stage=relax_stage,
+        solve_attempts=attempts,
     )
     return WindowResult(
         window_index=window_index, estimates=kept, telemetry=telemetry

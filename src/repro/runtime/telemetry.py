@@ -41,6 +41,14 @@ class WindowTelemetry:
     dual_residual: float
     #: wall-clock seconds spent solving this window.
     solve_time_s: float
+    #: degradation-ladder rung that produced the estimates: 0 = full
+    #: system, then one rung per dropped constraint family
+    #: (drop_sum_upper, drop_fifo, order_only), highest = midpoints.
+    relax_rung: int = 0
+    #: human-readable name of the rung ("full" when nothing was relaxed).
+    relax_stage: str = "full"
+    #: solve attempts made on this window (1 = first try succeeded).
+    solve_attempts: int = 1
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -66,6 +74,9 @@ def summarize_telemetry(records: list[WindowTelemetry]) -> dict:
         "max_primal_residual": 0.0,
         "max_dual_residual": 0.0,
         "status_counts": {},
+        "relaxed_windows": 0,
+        "relax_retries": 0,
+        "relax_rung_histogram": {},
     }
     for record in records:
         key = {
@@ -89,6 +100,12 @@ def summarize_telemetry(records: list[WindowTelemetry]) -> dict:
         stats["status_counts"][record.status] = (
             stats["status_counts"].get(record.status, 0) + 1
         )
+        if record.relax_rung > 0:
+            stats["relaxed_windows"] += 1
+            stats["relax_rung_histogram"][record.relax_stage] = (
+                stats["relax_rung_histogram"].get(record.relax_stage, 0) + 1
+            )
+        stats["relax_retries"] += max(0, record.solve_attempts - 1)
     stats["window_telemetry"] = [record.as_dict() for record in records]
     return stats
 
@@ -116,4 +133,18 @@ def format_telemetry_report(stats: dict) -> str:
             f"{status}: {count}" for status, count in sorted(counts.items())
         )
         lines.append(f"status tally         : {rendered}")
+    relaxed = stats.get("relaxed_windows", 0)
+    if relaxed:
+        histogram = stats.get("relax_rung_histogram", {})
+        rendered = ", ".join(
+            f"{stage}: {count}" for stage, count in sorted(histogram.items())
+        )
+        lines.append(f"relaxed windows      : {relaxed} ({rendered})")
+    quarantined = stats.get("quarantined_packets", 0)
+    degraded = stats.get("degraded_constraints", 0)
+    if quarantined or degraded:
+        lines.append(
+            f"degradation          : {quarantined} packets quarantined, "
+            f"{degraded} sum constraints degraded"
+        )
     return "\n".join(lines)

@@ -5,6 +5,16 @@ sink-side trace (and the evaluation oracle) be archived and reloaded
 without re-running a simulation. The format is versioned, plain JSON —
 inspectable with any tooling, stable across refactors of the in-memory
 classes.
+
+Robustness: compression is detected by the gzip magic bytes, not the file
+suffix (a mis-suffixed archive is a classic operator error), and every
+failure mode — missing file, truncated archive, non-JSON payload,
+malformed record — surfaces as a :class:`TraceFormatError` naming the
+offending record and field instead of a bare ``KeyError`` from deep
+inside a comprehension. Pass ``validation=ValidationConfig(...)`` to
+:func:`load_trace` for tolerant ingestion: malformed records are dropped
+and counted, surviving packets are validated/repaired, and the combined
+report rides on ``TraceBundle.validation_report``.
 """
 
 from __future__ import annotations
@@ -22,6 +32,13 @@ from repro.sim.trace import (
 )
 
 FORMAT_VERSION = 1
+
+#: first two bytes of every gzip stream (RFC 1952).
+GZIP_MAGIC = b"\x1f\x8b"
+
+
+class TraceFormatError(ValueError):
+    """A trace file or payload could not be parsed."""
 
 
 def _packet_id_to_json(packet_id: PacketId) -> list:
@@ -68,51 +85,122 @@ def trace_to_dict(trace: TraceBundle) -> dict:
     }
 
 
-def trace_from_dict(data: dict) -> TraceBundle:
-    """Inverse of :func:`trace_to_dict` (validates the format version)."""
-    version = data.get("version")
-    if version != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported trace format version {version!r} "
-            f"(expected {FORMAT_VERSION})"
+def _record_id(item) -> str:
+    """Best-effort packet id for an error message."""
+    try:
+        ident = item["id"]
+        return f"{ident[0]}#{ident[1]}"
+    except Exception:
+        return "<unidentifiable>"
+
+
+def _parse_received(item, position: int) -> ReceivedPacket:
+    if not isinstance(item, dict):
+        raise TraceFormatError(
+            f"received record #{position} is "
+            f"{type(item).__name__}, not an object"
         )
-    received = [
-        ReceivedPacket(
+    for name in ("id", "path", "t0", "t_sink", "sum_of_delays"):
+        if name not in item:
+            raise TraceFormatError(
+                f"received packet {_record_id(item)} (record #{position}): "
+                f"missing field {name!r}"
+            )
+    try:
+        return ReceivedPacket(
             packet_id=_packet_id_from_json(item["id"]),
             path=tuple(int(n) for n in item["path"]),
             generation_time_ms=float(item["t0"]),
             sink_arrival_ms=float(item["t_sink"]),
             sum_of_delays_ms=int(item["sum_of_delays"]),
         )
-        for item in data["received"]
-    ]
-    ground_truth = {}
-    for item in data["ground_truth"]:
-        packet = GroundTruthPacket(
+    except (TypeError, ValueError, IndexError) as exc:
+        raise TraceFormatError(
+            f"received packet {_record_id(item)} (record #{position}): "
+            f"non-numeric or malformed field ({exc})"
+        ) from exc
+
+
+def _parse_ground_truth(item, position: int) -> GroundTruthPacket:
+    if not isinstance(item, dict):
+        raise TraceFormatError(
+            f"ground-truth record #{position} is "
+            f"{type(item).__name__}, not an object"
+        )
+    for name in ("id", "path", "arrivals"):
+        if name not in item:
+            raise TraceFormatError(
+                f"ground-truth packet {_record_id(item)} "
+                f"(record #{position}): missing field {name!r}"
+            )
+    try:
+        return GroundTruthPacket(
             packet_id=_packet_id_from_json(item["id"]),
             path=tuple(int(n) for n in item["path"]),
             arrival_times_ms=tuple(float(t) for t in item["arrivals"]),
         )
+    except (TypeError, ValueError, IndexError) as exc:
+        raise TraceFormatError(
+            f"ground-truth packet {_record_id(item)} "
+            f"(record #{position}): malformed field ({exc})"
+        ) from exc
+
+
+def trace_from_dict(data: dict) -> TraceBundle:
+    """Inverse of :func:`trace_to_dict` (validates the format version).
+
+    Malformed records raise :class:`TraceFormatError` (a ``ValueError``)
+    naming the offending packet id and field. For tolerant parsing of a
+    partially corrupted payload, sanitize the dict first with
+    :func:`repro.core.validation.sanitize_trace_dict`.
+    """
+    if not isinstance(data, dict):
+        raise TraceFormatError(
+            f"trace payload is {type(data).__name__}, not an object"
+        )
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    received = [
+        _parse_received(item, position)
+        for position, item in enumerate(data.get("received", []))
+    ]
+    ground_truth = {}
+    for position, item in enumerate(data.get("ground_truth", [])):
+        packet = _parse_ground_truth(item, position)
         ground_truth[packet.packet_id] = packet
-    node_logs = {
-        int(node): [
-            NodeLogEntry(
-                kind=entry[0],
-                packet_id=PacketId(int(entry[1]), int(entry[2])),
-                local_time_ms=float(entry[3]),
-            )
-            for entry in log
-        ]
-        for node, log in data.get("node_logs", {}).items()
-    }
-    return TraceBundle(
-        received=received,
-        ground_truth=ground_truth,
-        node_logs=node_logs,
-        lost_packets=[_packet_id_from_json(x) for x in data.get("lost", [])],
-        sink=int(data.get("sink", 0)),
-        duration_ms=float(data.get("duration_ms", 0.0)),
-    )
+    try:
+        node_logs = {
+            int(node): [
+                NodeLogEntry(
+                    kind=entry[0],
+                    packet_id=PacketId(int(entry[1]), int(entry[2])),
+                    local_time_ms=float(entry[3]),
+                )
+                for entry in log
+            ]
+            for node, log in data.get("node_logs", {}).items()
+        }
+        lost = [_packet_id_from_json(x) for x in data.get("lost", [])]
+    except (TypeError, ValueError, IndexError, KeyError) as exc:
+        raise TraceFormatError(
+            f"malformed node-log or loss record ({exc})"
+        ) from exc
+    try:
+        return TraceBundle(
+            received=received,
+            ground_truth=ground_truth,
+            node_logs=node_logs,
+            lost_packets=lost,
+            sink=int(data.get("sink", 0)),
+            duration_ms=float(data.get("duration_ms", 0.0)),
+        )
+    except ValueError as exc:
+        # Alignment failure: a received packet without its ground truth.
+        raise TraceFormatError(str(exc)) from exc
 
 
 def save_trace(trace: TraceBundle, path: str | Path) -> None:
@@ -126,12 +214,68 @@ def save_trace(trace: TraceBundle, path: str | Path) -> None:
         path.write_text(payload, encoding="utf-8")
 
 
-def load_trace(path: str | Path) -> TraceBundle:
-    """Read a trace written by :func:`save_trace`."""
+def _read_payload(path: Path) -> str:
+    """File contents, decompressing by magic bytes rather than suffix."""
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise TraceFormatError(f"trace file not found: {path}") from None
+    except IsADirectoryError:
+        raise TraceFormatError(f"trace path is a directory: {path}") from None
+    if raw[:2] == GZIP_MAGIC:
+        try:
+            raw = gzip.decompress(raw)
+        except (OSError, EOFError) as exc:
+            raise TraceFormatError(
+                f"corrupt or truncated gzip trace {path}: {exc}"
+            ) from exc
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(
+            f"trace file {path} is neither gzip nor UTF-8 text"
+        ) from exc
+
+
+def load_trace(path: str | Path, validation=None) -> TraceBundle:
+    """Read a trace written by :func:`save_trace`.
+
+    Compression is detected from the file's magic bytes, so a gzipped
+    file without the ``.gz`` suffix (or a plain-text file with it) loads
+    fine. All parse failures raise :class:`TraceFormatError`.
+
+    Args:
+        path: trace file path.
+        validation: optional
+            :class:`~repro.core.validation.ValidationConfig`. In
+            ``repair``/``drop`` mode, malformed records are dropped and
+            surviving packets validated/repaired; the combined report is
+            attached as ``TraceBundle.validation_report``. ``strict``
+            raises on the first problem; ``None`` parses strictly with no
+            packet-level validation (seed behavior).
+    """
     path = Path(path)
-    if path.suffix == ".gz":
-        with gzip.open(path, "rt", encoding="utf-8") as handle:
-            payload = handle.read()
-    else:
-        payload = path.read_text(encoding="utf-8")
-    return trace_from_dict(json.loads(payload))
+    payload = _read_payload(path)
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"trace file {path} is not valid JSON: {exc}"
+        ) from exc
+    if validation is None or validation.mode == "off":
+        return trace_from_dict(data)
+
+    # Tolerant ingestion: sanitize raw records, then validate packets.
+    from repro.core.validation import sanitize_trace_dict, validate_packets
+
+    if validation.mode == "strict":
+        trace = trace_from_dict(data)
+        validate_packets(trace.received, validation)  # raises on problems
+        return trace
+    data, ingest_report = sanitize_trace_dict(data)
+    trace = trace_from_dict(data)
+    survivors, report = validate_packets(trace.received, validation)
+    report.merge(ingest_report)
+    trace = trace.with_received(survivors)
+    trace.validation_report = report
+    return trace

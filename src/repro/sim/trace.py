@@ -102,6 +102,10 @@ class TraceBundle:
     lost_packets: list[PacketId] = field(default_factory=list)
     sink: int = 0
     duration_ms: float = 0.0
+    #: ingest-time :class:`~repro.core.validation.ValidationReport` when
+    #: the bundle was loaded through a tolerant validation mode (None for
+    #: simulated or strictly-loaded traces).
+    validation_report: object | None = None
 
     def __post_init__(self) -> None:
         self._check_alignment()
@@ -144,13 +148,27 @@ class TraceBundle:
         filtering).
         """
         keep_set = set(keep)
+        return self.with_received(
+            [p for p in self.received if p.packet_id in keep_set]
+        )
+
+    def with_received(
+        self, received: list[ReceivedPacket]
+    ) -> "TraceBundle":
+        """A new bundle with a replacement received list (context shared).
+
+        Used by the validation layer (quarantined/repaired packets) and
+        the fault injectors; ground truth, node logs and loss accounting
+        are carried over so scoring still works for the survivors.
+        """
         return TraceBundle(
-            received=[p for p in self.received if p.packet_id in keep_set],
+            received=list(received),
             ground_truth=self.ground_truth,
             node_logs=self.node_logs,
             lost_packets=self.lost_packets,
             sink=self.sink,
             duration_ms=self.duration_ms,
+            validation_report=self.validation_report,
         )
 
 

@@ -225,6 +225,69 @@ def test_sdr_mode_small_trace(trace):
     assert float(np.mean(errors)) < 10.0
 
 
+def test_hardened_pipeline_byte_identical_on_clean_trace(trace):
+    """The acceptance bar: validation on (default) vs off — same bytes."""
+    from repro.core.validation import ValidationConfig
+
+    packets = trace.received[:120]
+    hardened = DomoReconstructor(DomoConfig()).estimate(packets)
+    seed_like = DomoReconstructor(
+        DomoConfig(validation=ValidationConfig(mode="off"))
+    ).estimate(packets)
+    assert hardened.estimates == seed_like.estimates  # bit-identical floats
+    assert hardened.arrival_times == seed_like.arrival_times
+    assert hardened.stats["quarantined_packets"] == 0
+    assert hardened.stats["degraded_constraints"] == 0
+    assert hardened.stats["validation"]["mode"] == "repair"
+
+
+def test_dirty_trace_quarantine_and_degradation_visible(trace):
+    """Corrupt packets are quarantined and Eq. (6) rows downgraded."""
+    from dataclasses import replace as dc_replace
+
+    packets = list(trace.received[:120])
+    inverted = dc_replace(packets[5], sink_arrival_ms=-100.0)
+    wrapped = dc_replace(packets[9], sum_of_delays_ms=-7)
+    packets[5], packets[9] = inverted, wrapped
+    estimate = DomoReconstructor(DomoConfig()).estimate(packets)
+    stats = estimate.stats
+    assert stats["quarantined_packets"] == 1
+    assert stats["validation"]["distrusted_sums"] == 1
+    assert stats["validation"]["reason_counts"] == {
+        "impossible_timestamps": 1,
+        "sum_out_of_range": 1,
+    }
+    # The quarantined packet is gone; the repaired one is reconstructed.
+    assert inverted.packet_id not in estimate.arrival_times
+    assert wrapped.packet_id in estimate.arrival_times
+    # Known loss (the quarantine) arms the C*(p)-only degradation, so at
+    # least the distrusted packet's sum rows were skipped.
+    assert stats["degraded_constraints"] >= 1
+
+
+def test_strict_validation_mode_raises_on_dirty_input(trace):
+    from dataclasses import replace as dc_replace
+
+    from repro.core.validation import TraceValidationError, ValidationConfig
+
+    packets = list(trace.received[:40])
+    packets[0] = dc_replace(packets[0], sink_arrival_ms=-100.0)
+    domo = DomoReconstructor(
+        DomoConfig(validation=ValidationConfig(mode="strict"))
+    )
+    with pytest.raises(TraceValidationError):
+        domo.estimate(packets)
+
+
+def test_bounds_stats_expose_validation(trace):
+    domo = DomoReconstructor(DomoConfig())
+    wanted = [p.packet_id for p in trace.received[:10]]
+    bounds = domo.bounds(trace, packet_ids=wanted)
+    assert bounds.stats["quarantined_packets"] == 0
+    assert bounds.stats["degraded_constraints"] == 0
+    assert bounds.stats["validation"]["mode"] == "repair"
+
+
 def test_accepts_trace_bundle_and_plain_list(trace):
     domo = DomoReconstructor()
     few = trace.received[:30]

@@ -1,0 +1,258 @@
+"""Tests of trace-ingestion validation (quarantine / repair / distrust)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.validation import (
+    TraceValidationError,
+    ValidationConfig,
+    ValidationReport,
+    sanitize_trace_dict,
+    validate_packets,
+)
+from repro.sim.packet import SUM_OF_DELAYS_MAX_MS
+
+from tests.core.conftest import make_received
+
+
+def _packets():
+    """Three well-formed packets with exact, validation-safe semantics."""
+    a, _ = make_received(3, 0, (3, 2, 1, 0), (0.0, 10.0, 20.0, 30.0),
+                         sum_of_delays=10)
+    b, _ = make_received(2, 0, (2, 1, 0), (100.0, 110.0, 120.0),
+                         sum_of_delays=10)
+    c, _ = make_received(1, 0, (1, 0), (200.0, 210.0), sum_of_delays=10)
+    return [a, b, c]
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        ValidationConfig(mode="paranoid")
+
+
+def test_clean_trace_passes_through_identically():
+    """Byte-identity invariant: same objects, same order, clean report."""
+    packets = _packets()
+    survivors, report = validate_packets(packets, ValidationConfig())
+    assert report.clean
+    assert len(survivors) == len(packets)
+    for kept, original in zip(survivors, packets):
+        assert kept is original
+
+
+def test_mode_off_skips_all_checks():
+    broken = replace(_packets()[0], sink_arrival_ms=-1.0)
+    survivors, report = validate_packets(
+        [broken], ValidationConfig(mode="off")
+    )
+    assert survivors == [broken]
+    assert report.clean
+
+
+@pytest.mark.parametrize("mode", ["repair", "drop"])
+def test_non_finite_time_quarantined(mode):
+    packets = _packets()
+    packets[1] = replace(packets[1], generation_time_ms=float("nan"))
+    survivors, report = validate_packets(packets, ValidationConfig(mode=mode))
+    assert len(survivors) == 2
+    assert report.quarantined == [packets[1].packet_id]
+    assert report.reason_counts() == {"non_finite_time": 1}
+
+
+def test_looping_path_quarantined():
+    packets = _packets()
+    packets[0] = replace(packets[0], path=(3, 2, 3, 0))
+    survivors, report = validate_packets(packets, ValidationConfig())
+    assert packets[0].packet_id in report.quarantined
+    assert report.reason_counts() == {"looping_path": 1}
+    assert len(survivors) == 2
+
+
+def test_short_path_quarantined():
+    packets = _packets()
+    packets[2] = replace(packets[2], path=(0,))
+    _, report = validate_packets(packets, ValidationConfig())
+    assert report.reason_counts() == {"short_path": 1}
+
+
+def test_impossible_timestamps_quarantined():
+    """t_sink < t0 + (|p|-1) * omega cannot happen on a real network."""
+    packets = _packets()
+    packets[0] = replace(packets[0], sink_arrival_ms=1.0)  # 4-node path
+    survivors, report = validate_packets(packets, ValidationConfig())
+    assert report.reason_counts() == {"impossible_timestamps": 1}
+    assert packets[0].packet_id not in {p.packet_id for p in survivors}
+
+
+def test_omega_scales_the_timestamp_check():
+    """A 29 ms e2e delay over 3 hops fails only when omega > 29/3."""
+    packet, _ = make_received(3, 0, (3, 2, 1, 0), (0.0, 10.0, 20.0, 29.0))
+    _, lenient = validate_packets([packet], ValidationConfig(omega_ms=1.0))
+    assert lenient.clean
+    _, strict = validate_packets([packet], ValidationConfig(omega_ms=10.0))
+    assert strict.reason_counts() == {"impossible_timestamps": 1}
+
+
+def test_duplicate_id_keeps_first_copy():
+    packets = _packets()
+    duplicate = replace(packets[0], sink_arrival_ms=31.0)
+    survivors, report = validate_packets(
+        packets + [duplicate], ValidationConfig()
+    )
+    assert report.reason_counts() == {"duplicate_id": 1}
+    kept = [p for p in survivors if p.packet_id == packets[0].packet_id]
+    assert kept == [packets[0]]  # the first copy, original object
+
+
+def test_sum_out_of_range_repaired_and_distrusted():
+    packets = _packets()
+    packets[1] = replace(packets[1], sum_of_delays_ms=-5)
+    survivors, report = validate_packets(packets, ValidationConfig())
+    assert len(survivors) == 3  # repaired, not dropped
+    repaired = survivors[1]
+    assert repaired.sum_of_delays_ms == 0
+    assert packets[1].packet_id in report.distrusted_sums
+    assert report.reason_counts() == {"sum_out_of_range": 1}
+
+
+def test_sum_out_of_range_dropped_in_drop_mode():
+    packets = _packets()
+    packets[1] = replace(
+        packets[1], sum_of_delays_ms=SUM_OF_DELAYS_MAX_MS + 10
+    )
+    survivors, report = validate_packets(
+        packets, ValidationConfig(mode="drop")
+    )
+    assert len(survivors) == 2
+    assert report.quarantined == [packets[1].packet_id]
+
+
+def test_saturated_sum_distrusted_not_dropped():
+    packets = _packets()
+    packets[0] = replace(packets[0], sum_of_delays_ms=SUM_OF_DELAYS_MAX_MS)
+    survivors, report = validate_packets(packets, ValidationConfig())
+    assert len(survivors) == 3
+    assert packets[0].packet_id in report.distrusted_sums
+    assert report.reason_counts() == {"sum_saturated": 1}
+    # With the suspicion configured off, the budget check still nets it.
+    _, trusting = validate_packets(
+        packets, ValidationConfig(distrust_saturated_sum=False)
+    )
+    assert trusting.reason_counts() == {"sum_over_budget": 1}
+
+
+def test_sum_over_budget_distrusted():
+    """An S(p) far beyond the e2e budget means a wrapped accumulator."""
+    packets = _packets()
+    packets[2] = replace(packets[2], sum_of_delays_ms=60_000)
+    survivors, report = validate_packets(packets, ValidationConfig())
+    assert len(survivors) == 3
+    assert report.reason_counts() == {"sum_over_budget": 1}
+    assert packets[2].packet_id in report.distrusted_sums
+
+
+def test_strict_mode_raises_naming_packet_and_field():
+    packets = _packets()
+    packets[1] = replace(packets[1], sum_of_delays_ms=-5)
+    with pytest.raises(TraceValidationError) as excinfo:
+        validate_packets(packets, ValidationConfig(mode="strict"))
+    message = str(excinfo.value)
+    assert str(packets[1].packet_id) in message
+    assert "sum_of_delays" in message
+
+
+def test_strict_mode_raises_on_impossible_timestamps():
+    packets = _packets()
+    packets[0] = replace(packets[0], sink_arrival_ms=-10.0)
+    with pytest.raises(TraceValidationError) as excinfo:
+        validate_packets(packets, ValidationConfig(mode="strict"))
+    assert "t_sink" in str(excinfo.value)
+
+
+def test_report_as_dict_and_merge():
+    packets = _packets()
+    packets[0] = replace(packets[0], path=(3, 2, 3, 0))
+    packets[1] = replace(packets[1], sum_of_delays_ms=-1)
+    _, report = validate_packets(packets, ValidationConfig())
+    summary = report.as_dict()
+    assert summary["mode"] == "repair"
+    assert summary["total_packets"] == 3
+    assert summary["quarantined_packets"] == 1
+    assert summary["distrusted_sums"] == 1
+    other = ValidationReport(mode="repair", malformed_records=4)
+    report.merge(other)
+    assert report.as_dict()["malformed_records"] == 4
+    assert not report.clean
+
+
+# ----------------------------------------------------------------------
+# Raw-record sanitization
+# ----------------------------------------------------------------------
+
+
+def _raw_trace():
+    return {
+        "version": 1,
+        "received": [
+            {"id": [2, 0], "path": [2, 1, 0], "t0": 0.0, "t_sink": 20.0,
+             "sum_of_delays": 10},
+            {"id": [3, 0], "path": [3, 1, 0], "t0": 5.0, "t_sink": 30.0,
+             "sum_of_delays": 9},
+        ],
+        "ground_truth": [
+            {"id": [2, 0], "path": [2, 1, 0], "arrivals": [0.0, 10.0, 20.0]},
+            {"id": [3, 0], "path": [3, 1, 0], "arrivals": [5.0, 14.0, 30.0]},
+        ],
+        "node_logs": {},
+        "lost": [],
+    }
+
+
+def test_sanitize_passes_clean_dict_through():
+    data = _raw_trace()
+    cleaned, report = sanitize_trace_dict(data)
+    assert report.clean
+    assert cleaned["received"] == data["received"]
+    assert cleaned["ground_truth"] == data["ground_truth"]
+
+
+def test_sanitize_drops_truncated_records():
+    data = _raw_trace()
+    del data["received"][0]["t_sink"]
+    cleaned, report = sanitize_trace_dict(data)
+    assert report.malformed_records == 1
+    assert [r["id"] for r in cleaned["received"]] == [[3, 0]]
+
+
+def test_sanitize_drops_type_corrupted_records():
+    data = _raw_trace()
+    data["received"][1]["t0"] = "yesterday"
+    data["received"].append("not even a record")
+    cleaned, report = sanitize_trace_dict(data)
+    assert report.malformed_records == 2
+    assert [r["id"] for r in cleaned["received"]] == [[2, 0]]
+
+
+def test_sanitize_drops_received_without_ground_truth_twin():
+    data = _raw_trace()
+    data["ground_truth"][0]["arrivals"] = [0.0]  # misaligned -> dropped
+    cleaned, report = sanitize_trace_dict(data)
+    # One malformed truth record plus its orphaned received twin.
+    assert report.malformed_records == 2
+    assert [r["id"] for r in cleaned["received"]] == [[3, 0]]
+
+
+def test_sanitize_cleans_node_logs_and_lost():
+    data = _raw_trace()
+    data["node_logs"] = {"1": [["arrive", 2, 0, 10.0], ["bad"]]}
+    data["lost"] = [[4, 0], "junk"]
+    cleaned, report = sanitize_trace_dict(data)
+    assert cleaned["node_logs"]["1"] == [["arrive", 2, 0, 10.0]]
+    assert cleaned["lost"] == [[4, 0]]
+    assert report.malformed_records == 1
+
+
+def test_sanitize_rejects_non_dict_payload():
+    with pytest.raises(TraceValidationError):
+        sanitize_trace_dict([1, 2, 3])

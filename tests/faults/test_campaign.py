@@ -1,0 +1,120 @@
+"""Tests of the fault-injection campaign runner."""
+
+import pytest
+
+from repro.core.pipeline import DomoConfig
+from repro.faults.campaign import (
+    DETECTABLE_KINDS,
+    CampaignResult,
+    format_campaign_table,
+    main,
+    run_campaign,
+    run_cell,
+)
+from repro.faults.injectors import injector_names, make_injector
+from repro.sim import NetworkConfig, simulate_network
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return simulate_network(
+        NetworkConfig(
+            num_nodes=16,
+            placement="grid",
+            duration_ms=20_000.0,
+            packet_period_ms=3_000.0,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def result(trace):
+    """One full sweep: every injector at a paper-range rate."""
+    injectors = [make_injector(kind) for kind in injector_names()]
+    return run_campaign(trace, injectors=injectors, rates=(0.2,), seed=7)
+
+
+def test_no_cell_raises(result):
+    assert result.clean, format_campaign_table(result)
+    assert len(result.cells) == len(injector_names())
+
+
+def test_detectable_faults_produce_validation_events(result):
+    assert result.undetected() == []
+    by_kind = {cell.kind: cell for cell in result.cells}
+    for kind in DETECTABLE_KINDS:
+        assert by_kind[kind].detections > 0, kind
+
+
+def test_cells_carry_degradation_stats(result):
+    by_kind = {cell.kind: cell for cell in result.cells}
+    truncate = by_kind["truncate"]
+    assert truncate.malformed > 0
+    assert truncate.num_survivors < truncate.num_records + truncate.malformed
+    for cell in result.cells:
+        assert cell.num_records > 0
+        assert cell.num_survivors > 0
+        assert cell.failed_windows == 0 or cell.relaxed_windows >= 0
+
+
+def test_baseline_error_is_finite_and_small(result):
+    assert result.baseline_error_ms == result.baseline_error_ms  # not NaN
+    assert result.baseline_error_ms < 6.0
+
+
+def test_campaign_is_deterministic(trace):
+    injectors = [make_injector("delete_received"), make_injector("wrap_sum")]
+    one = run_campaign(trace, injectors=injectors, rates=(0.3,), seed=3)
+    two = run_campaign(trace, injectors=injectors, rates=(0.3,), seed=3)
+    for a, b in zip(one.cells, two.cells):
+        assert (a.kind, a.rate, a.num_survivors, a.quarantined,
+                a.distrusted, a.malformed) == (
+            b.kind, b.rate, b.num_survivors, b.quarantined,
+            b.distrusted, b.malformed)
+        assert a.mean_abs_error_ms == b.mean_abs_error_ms
+
+
+def test_run_cell_records_exceptions_instead_of_raising(trace):
+    class Bomb:
+        kind = "delete_received"
+        rate = 0.1
+
+        def apply(self, data, rng):
+            raise RuntimeError("kaboom")
+
+    cell = run_cell(trace, Bomb(), seed=1)
+    assert not cell.ok
+    assert "kaboom" in cell.error
+    result = CampaignResult(cells=[cell])
+    assert not result.clean
+    assert "RAISED" in format_campaign_table(result)
+
+
+def test_format_campaign_table_lists_every_cell(result):
+    table = format_campaign_table(result)
+    for cell in result.cells:
+        assert cell.kind in table
+    assert "baseline" in table
+
+
+def test_module_entry_check_mode(capsys):
+    code = main([
+        "--nodes", "16", "--duration", "20", "--period", "3", "--seed", "7",
+        "--rates", "0.2", "--kinds", "delete_received,truncate", "--check",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "check ok" in out
+
+
+def test_domo_config_flows_into_cells(trace):
+    """A custom DomoConfig (strict-free validation) reaches run_cell."""
+    cell = run_cell(
+        trace,
+        make_injector("saturate_sum", rate=0.3),
+        seed=5,
+        config=DomoConfig(),
+    )
+    assert cell.ok, cell.error
+    assert cell.distrusted > 0

@@ -1,0 +1,196 @@
+"""Tests of the seeded fault injectors (determinism, rates, composition)."""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.injectors import (
+    DEFAULT_INJECTORS,
+    FaultInjector,
+    inject,
+    injector_names,
+    make_injector,
+)
+from repro.sim import NetworkConfig, simulate_network
+from repro.sim.io import trace_to_dict
+
+
+@pytest.fixture(scope="module")
+def data():
+    trace = simulate_network(
+        NetworkConfig(
+            num_nodes=16,
+            placement="grid",
+            duration_ms=20_000.0,
+            packet_period_ms=2_000.0,
+            seed=9,
+        )
+    )
+    return trace_to_dict(trace)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultInjector(kind="gremlins")
+
+
+def test_rate_outside_unit_interval_rejected():
+    with pytest.raises(ValueError):
+        make_injector("delete_received", rate=1.5)
+    with pytest.raises(ValueError):
+        make_injector("delete_received", rate=-0.1)
+
+
+def test_registry_covers_the_issue_fault_set():
+    names = injector_names()
+    for required in (
+        "delete_received", "wrap_sum", "saturate_sum", "clock_skew",
+        "duplicate", "truncate", "reorder", "corrupt_path",
+    ):
+        assert required in names
+    assert {i.kind for i in DEFAULT_INJECTORS} == set(names)
+
+
+def test_with_rate_returns_new_injector():
+    base = make_injector("duplicate", rate=0.1)
+    raised = base.with_rate(0.5)
+    assert raised.rate == 0.5
+    assert base.rate == 0.1
+    assert raised.kind == base.kind
+
+
+@pytest.mark.parametrize("injector", DEFAULT_INJECTORS,
+                         ids=lambda i: i.kind)
+def test_same_seed_gives_identical_faults(data, injector):
+    one = injector.apply(data, np.random.default_rng(42))
+    two = injector.apply(data, np.random.default_rng(42))
+    assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+
+@pytest.mark.parametrize("injector", DEFAULT_INJECTORS,
+                         ids=lambda i: i.kind)
+def test_input_dict_is_never_mutated(data, injector):
+    snapshot = copy.deepcopy(data)
+    injector.with_rate(0.4).apply(data, np.random.default_rng(1))
+    assert data == snapshot
+
+
+def test_different_seeds_give_different_faults(data):
+    injector = make_injector("delete_received", rate=0.3)
+    one = injector.apply(data, np.random.default_rng(1))
+    two = injector.apply(data, np.random.default_rng(2))
+    assert [r["id"] for r in one["received"]] != [
+        r["id"] for r in two["received"]
+    ]
+
+
+def test_delete_rate_is_honored(data):
+    total = len(data["received"])
+    faulted = make_injector("delete_received", rate=0.3).apply(
+        data, np.random.default_rng(3)
+    )
+    removed = total - len(faulted["received"])
+    assert 0.15 * total <= removed <= 0.45 * total
+
+
+def test_wrap_sum_stays_in_wire_range(data):
+    faulted = make_injector("wrap_sum", rate=0.5).apply(
+        data, np.random.default_rng(4)
+    )
+    changed = sum(
+        a["sum_of_delays"] != b["sum_of_delays"]
+        for a, b in zip(data["received"], faulted["received"])
+    )
+    assert changed > 0
+    for record in faulted["received"]:
+        assert 0 <= record["sum_of_delays"] <= 65535
+
+
+def test_saturate_sum_pins_at_maximum(data):
+    faulted = make_injector("saturate_sum", rate=0.5).apply(
+        data, np.random.default_rng(5)
+    )
+    saturated = [
+        r for r in faulted["received"] if r["sum_of_delays"] == 65535
+    ]
+    assert saturated
+
+
+def test_clock_skew_shifts_whole_source_streams(data):
+    faulted = make_injector("clock_skew", rate=0.5).apply(
+        data, np.random.default_rng(6)
+    )
+    shifted_sources = {
+        tuple(a["id"])[0]
+        for a, b in zip(data["received"], faulted["received"])
+        if a["t0"] != b["t0"]
+    }
+    assert shifted_sources
+    # Skew is per-node: every packet of a shifted source moved.
+    for a, b in zip(data["received"], faulted["received"]):
+        if tuple(a["id"])[0] in shifted_sources:
+            assert a["t0"] != b["t0"]
+
+
+def test_duplicate_appends_replayed_records(data):
+    faulted = make_injector("duplicate", rate=0.3).apply(
+        data, np.random.default_rng(7)
+    )
+    assert len(faulted["received"]) > len(data["received"])
+    ids = [tuple(r["id"]) for r in faulted["received"]]
+    assert len(ids) > len(set(ids))
+
+
+def test_truncate_removes_fields(data):
+    faulted = make_injector("truncate", rate=0.4).apply(
+        data, np.random.default_rng(8)
+    )
+    required = ("id", "path", "t0", "t_sink", "sum_of_delays")
+    damaged = [
+        r for r in faulted["received"]
+        if any(name not in r for name in required)
+    ]
+    assert damaged
+
+
+def test_reorder_permutes_but_preserves_records(data):
+    faulted = make_injector("reorder", rate=0.6).apply(
+        data, np.random.default_rng(9)
+    )
+    assert faulted["received"] != data["received"]
+    key = lambda r: json.dumps(r, sort_keys=True)  # noqa: E731
+    assert sorted(map(key, faulted["received"])) == sorted(
+        map(key, data["received"])
+    )
+
+
+def test_corrupt_path_damages_reported_routes(data):
+    faulted = make_injector("corrupt_path", rate=0.5).apply(
+        data, np.random.default_rng(10)
+    )
+    changed = [
+        (a, b)
+        for a, b in zip(data["received"], faulted["received"])
+        if a["path"] != b["path"]
+    ]
+    assert changed
+    for original, corrupted in changed:
+        # Endpoints survive; only the interior is damaged.
+        assert corrupted["path"][0] == original["path"][0]
+        assert corrupted["path"][-1] == original["path"][-1]
+
+
+def test_injectors_compose(data):
+    injectors = [
+        make_injector("delete_received", rate=0.2),
+        make_injector("wrap_sum", rate=0.2),
+        make_injector("duplicate", rate=0.1),
+    ]
+    rng = np.random.default_rng(11)
+    faulted = inject(data, injectors, rng)
+    assert faulted is not data
+    # Deletion happened before duplication; both are visible.
+    ids = [tuple(r["id"]) for r in faulted["received"]]
+    assert len(ids) != len(data["received"]) or len(ids) > len(set(ids))

@@ -3,9 +3,12 @@
 import pytest
 
 from repro.core.constraints import ConstraintConfig
+from repro.core.estimator import estimate_arrival_times_info
 from repro.core.preprocessor import build_window_systems
 from repro.optim.result import SolverError, SolverStatus
 from repro.runtime.executor import (
+    MIDPOINT_RUNG,
+    RELAXATION_LADDER,
     WindowSolveSpec,
     execute_windows,
     resolve_worker_count,
@@ -99,12 +102,97 @@ def test_solver_error_falls_back_to_interval_midpoints(monkeypatch):
     result = solve_one_window(0, ws, WindowSolveSpec())
     assert result.telemetry.solver == "fallback"
     assert result.telemetry.status == "fallback"
+    # The whole ladder was walked before surrendering.
+    assert result.telemetry.relax_rung == MIDPOINT_RUNG
+    assert result.telemetry.relax_stage == "midpoints"
+    assert result.telemetry.solve_attempts == 1 + len(RELAXATION_LADDER)
     # Kept estimates exist and equal the interval midpoints.
     assert result.estimates
     for key, value in result.estimates.items():
         lo, hi = ws.system.intervals[key]
         assert value == pytest.approx(0.5 * (lo + hi))
         assert key.packet_id in ws.kept_ids
+
+
+def _failing_first_n(n):
+    """A stand-in solver that fails its first ``n`` calls, then delegates."""
+    calls = {"count": 0}
+
+    def flaky(system, config=None):
+        calls["count"] += 1
+        if calls["count"] <= n:
+            raise SolverError(SolverStatus.ITERATION_LIMIT, "forced")
+        return estimate_arrival_times_info(system, config)
+
+    return flaky
+
+
+def test_relaxation_ladder_first_rung_drops_sum_upper(monkeypatch):
+    """An infeasible full system re-solves without Eq. (6) rows."""
+    systems = _systems()
+    ws = systems[0]
+    monkeypatch.setattr(
+        "repro.runtime.executor.estimate_arrival_times_info",
+        _failing_first_n(1),
+    )
+    result = solve_one_window(0, ws, WindowSolveSpec())
+    telemetry = result.telemetry
+    assert telemetry.solver == "linearized"
+    assert telemetry.relax_rung == 1
+    assert telemetry.relax_stage == "drop_sum_upper"
+    assert telemetry.solve_attempts == 2
+    # A real solve happened: estimates are not interval midpoints.
+    assert result.estimates
+    midpoints = sum(
+        result.estimates[key]
+        == pytest.approx(0.5 * sum(ws.system.intervals[key]))
+        for key in result.estimates
+    )
+    assert midpoints < len(result.estimates)
+
+
+def test_relaxation_ladder_walks_to_order_only(monkeypatch):
+    """Two more failures push the solve down to the order-only rung."""
+    systems = _systems()
+    ws = systems[0]
+    monkeypatch.setattr(
+        "repro.runtime.executor.estimate_arrival_times_info",
+        _failing_first_n(3),
+    )
+    result = solve_one_window(0, ws, WindowSolveSpec())
+    telemetry = result.telemetry
+    assert telemetry.solver == "linearized"
+    assert telemetry.relax_rung == 3
+    assert telemetry.relax_stage == "order_only"
+    assert telemetry.solve_attempts == 4
+    assert result.estimates
+
+
+def test_relaxed_windows_surface_in_summary(monkeypatch):
+    from repro.runtime.telemetry import summarize_telemetry
+
+    systems = _systems()
+    monkeypatch.setattr(
+        "repro.runtime.executor.estimate_arrival_times_info",
+        _failing_first_n(1),
+    )
+    report = execute_windows(systems, WindowSolveSpec())
+    stats = summarize_telemetry([r.telemetry for r in report.results])
+    assert stats["relaxed_windows"] == 1
+    assert stats["relax_retries"] >= 1
+    assert stats["relax_rung_histogram"].get("drop_sum_upper") == 1
+
+
+def test_relaxation_ladder_tags_are_disjoint_families():
+    """Each rung keeps strictly fewer constraint families than the last."""
+    systems = _systems()
+    builder = systems[0].system.builder
+    sizes = [len(builder)]
+    for _, keep in RELAXATION_LADDER:
+        sizes.append(len(builder.filtered(keep)))
+    assert sizes == sorted(sizes, reverse=True)
+    # order rows are never dropped: the final rung is still nonempty.
+    assert sizes[-1] > 0
 
 
 def test_telemetry_records_solve_shape():

@@ -1,5 +1,6 @@
 """Tests for trace serialization."""
 
+import gzip
 import json
 
 import pytest
@@ -7,6 +8,8 @@ import pytest
 from repro.sim import NetworkConfig, simulate_network
 from repro.sim.io import (
     FORMAT_VERSION,
+    GZIP_MAGIC,
+    TraceFormatError,
     load_trace,
     save_trace,
     trace_from_dict,
@@ -67,6 +70,99 @@ def test_version_mismatch_rejected(trace):
     data["version"] = 999
     with pytest.raises(ValueError):
         trace_from_dict(data)
+
+
+def test_gzip_detected_by_magic_not_suffix(tmp_path, trace):
+    """A mis-suffixed archive (classic operator error) still loads."""
+    gzipped_as_json = tmp_path / "trace.json"  # gzip bytes, plain suffix
+    plain_as_gz = tmp_path / "trace2.json.gz"  # plain text, gzip suffix
+    payload = json.dumps(trace_to_dict(trace)).encode("utf-8")
+    gzipped_as_json.write_bytes(gzip.compress(payload))
+    plain_as_gz.write_bytes(payload)
+    assert gzipped_as_json.read_bytes()[:2] == GZIP_MAGIC
+    assert load_trace(gzipped_as_json).received == trace.received
+    assert load_trace(plain_as_gz).received == trace.received
+
+
+def test_missing_file_raises_trace_format_error(tmp_path):
+    with pytest.raises(TraceFormatError, match="not found"):
+        load_trace(tmp_path / "nope.json")
+
+
+def test_directory_path_raises_trace_format_error(tmp_path):
+    with pytest.raises(TraceFormatError, match="directory"):
+        load_trace(tmp_path)
+
+
+def test_truncated_gzip_raises_trace_format_error(tmp_path, trace):
+    path = tmp_path / "trace.json.gz"
+    save_trace(trace, path)
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    with pytest.raises(TraceFormatError, match="gzip"):
+        load_trace(path)
+
+
+def test_non_json_payload_raises_trace_format_error(tmp_path):
+    path = tmp_path / "trace.json"
+    path.write_text("this is not json {")
+    with pytest.raises(TraceFormatError, match="not valid JSON"):
+        load_trace(path)
+
+
+def test_binary_garbage_raises_trace_format_error(tmp_path):
+    path = tmp_path / "trace.json"
+    path.write_bytes(b"\xff\xfe\x00\x01 binary junk \x80")
+    with pytest.raises(TraceFormatError, match="neither gzip nor UTF-8"):
+        load_trace(path)
+
+
+def test_malformed_record_error_names_packet_and_field(trace):
+    data = trace_to_dict(trace)
+    pid = data["received"][3]["id"]
+    del data["received"][3]["t_sink"]
+    with pytest.raises(TraceFormatError) as excinfo:
+        trace_from_dict(data)
+    message = str(excinfo.value)
+    assert f"{pid[0]}#{pid[1]}" in message
+    assert "t_sink" in message
+
+
+def test_type_corrupted_field_error_names_packet(trace):
+    data = trace_to_dict(trace)
+    pid = data["received"][0]["id"]
+    data["received"][0]["t0"] = "yesterday"
+    with pytest.raises(TraceFormatError, match=f"{pid[0]}#{pid[1]}"):
+        trace_from_dict(data)
+
+
+def test_load_trace_repair_mode_survives_corruption(tmp_path, trace):
+    """Tolerant ingestion drops the bad records and reports them."""
+    from repro.core.validation import ValidationConfig
+
+    data = trace_to_dict(trace)
+    del data["received"][0]["path"]  # truncated record
+    data["received"][1]["t_sink"] = -1.0  # impossible timestamps
+    path = tmp_path / "dirty.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(TraceFormatError):
+        load_trace(path)  # strict parse still refuses
+    restored = load_trace(path, validation=ValidationConfig(mode="repair"))
+    report = restored.validation_report
+    assert report is not None
+    assert report.malformed_records == 1
+    assert report.num_quarantined == 1
+    assert len(restored.received) == trace.num_received - 2
+
+
+def test_load_trace_strict_validation_raises(tmp_path, trace):
+    from repro.core.validation import TraceValidationError, ValidationConfig
+
+    data = trace_to_dict(trace)
+    data["received"][1]["t_sink"] = -1.0
+    path = tmp_path / "dirty.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(TraceValidationError):
+        load_trace(path, validation=ValidationConfig(mode="strict"))
 
 
 def test_reconstruction_on_restored_trace(tmp_path, trace):

@@ -78,3 +78,95 @@ def test_compare_command(capsys):
     assert "Domo" in out
     assert "MNT" in out
     assert "MessageTracing" in out
+
+
+@pytest.mark.parametrize("command", ["estimate", "compare", "report"])
+def test_missing_trace_file_exits_2_with_one_line_error(capsys, command,
+                                                        tmp_path):
+    code = main([command, "--trace", str(tmp_path / "missing.json")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("domo: error:")
+    assert "not found" in err
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err
+
+
+def test_truncated_gzip_trace_exits_2(capsys, tmp_path):
+    path = tmp_path / "trace.json.gz"
+    path.write_bytes(b"\x1f\x8b truncated nonsense")
+    assert main(["estimate", "--trace", str(path)]) == 2
+    assert "domo: error:" in capsys.readouterr().err
+
+
+def test_non_json_trace_exits_2(capsys, tmp_path):
+    path = tmp_path / "trace.json"
+    path.write_text("<html>definitely not a trace</html>")
+    assert main(["estimate", "--trace", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "domo: error:" in err
+    assert "JSON" in err
+
+
+def test_mis_suffixed_gzip_trace_loads_by_magic_bytes(capsys, tmp_path):
+    import gzip
+    import json
+
+    from repro.sim import NetworkConfig, simulate_network
+    from repro.sim.io import trace_to_dict
+
+    trace = simulate_network(NetworkConfig(
+        num_nodes=16, placement="grid", duration_ms=20_000.0,
+        packet_period_ms=3_000.0, seed=2,
+    ))
+    path = tmp_path / "trace.json"  # gzip content, no .gz suffix
+    path.write_bytes(
+        gzip.compress(json.dumps(trace_to_dict(trace)).encode())
+    )
+    assert main(["simulate", "--trace", str(path)]) == 0
+    assert "received packets" in capsys.readouterr().out
+
+
+def test_dirty_trace_repair_mode_reports_and_succeeds(capsys, tmp_path):
+    import json
+
+    from repro.sim import NetworkConfig, simulate_network
+    from repro.sim.io import trace_to_dict
+
+    trace = simulate_network(NetworkConfig(
+        num_nodes=16, placement="grid", duration_ms=20_000.0,
+        packet_period_ms=3_000.0, seed=2,
+    ))
+    data = trace_to_dict(trace)
+    del data["received"][0]["t_sink"]  # truncated record
+    data["received"][1]["t_sink"] = -5.0  # impossible timestamps
+    path = tmp_path / "dirty.json"
+    path.write_text(json.dumps(data))
+    assert main(["estimate", "--trace", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "validation: 1 quarantined" in captured.err
+    assert "mean error" in captured.out
+    # strict mode refuses the same file with exit code 2.
+    assert main(
+        ["estimate", "--trace", str(path), "--validate", "strict"]
+    ) == 2
+
+
+def test_faults_command(capsys):
+    code = main(
+        ["faults", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2", "--rates", "0.2", "--kinds",
+         "delete_received,truncate"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "delete_received" in out
+    assert "truncate" in out
+    assert "baseline" in out
+
+
+def test_faults_command_rejects_bad_rates():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["faults", "--rates", "1.5"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["faults", "--rates", "abc"])
