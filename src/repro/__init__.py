@@ -15,6 +15,9 @@ Package map:
   (replaces the paper's TOSSIM/TinyOS testbed);
 * :mod:`repro.core` — Domo itself: constraints, estimation QP, SDR,
   bound LPs, windowing, metrics;
+* :mod:`repro.stream` — incremental ingest -> seal -> solve -> commit
+  engine (the online form of the reconstruction; the batch API runs on
+  top of it);
 * :mod:`repro.baselines` — MNT and MessageTracing comparison methods;
 * :mod:`repro.optim` — from-scratch QP/LP/SDP solvers;
 * :mod:`repro.graphcut` — constraint graph, BLP, sub-graph extraction;
@@ -37,6 +40,7 @@ from repro.sim import (
     drop_random_packets,
     simulate_network,
 )
+from repro.stream import StreamingReconstructor
 
 __version__ = "1.0.0"
 
@@ -47,6 +51,7 @@ __all__ = [
     "MntReconstructor",
     "NetworkConfig",
     "Simulator",
+    "StreamingReconstructor",
     "TraceBundle",
     "__version__",
     "average_displacement",

@@ -10,6 +10,9 @@ Subcommands::
         The Fig. 6 comparison: Domo vs MNT vs MessageTracing.
     domo faults    --nodes 16 --rates 0.1,0.3 --seed 7
         Seeded fault-injection campaign through the hardened pipeline.
+    domo stream    trace.jsonl --lateness-ms 2000 [--follow]
+        Incremental reconstruction over a JSON Lines packet stream
+        (``-`` reads stdin; ``--follow`` tails a growing file).
 
 Operational errors — a missing, truncated or non-JSON trace file —
 print a one-line message and exit with code 2 instead of a traceback.
@@ -99,6 +102,14 @@ def _obtain_trace(args):
 
 def _cmd_simulate(args) -> int:
     trace = _obtain_trace(args)
+    if args.save_stream:
+        from repro.sim.io import save_packets_jsonl
+
+        written = save_packets_jsonl(
+            trace.received, args.save_stream, sort_by_arrival=True
+        )
+        print(f"stream records   : {written} -> {args.save_stream}",
+              file=sys.stderr)
     delays = []
     hops = []
     for p in trace.received:
@@ -221,6 +232,78 @@ def _cmd_faults(args) -> int:
     return 0 if result.clean else 1
 
 
+def _follow_lines(handle, poll_interval: float, idle_timeout: float):
+    """Tail a growing file: yield lines, polling on EOF until idle."""
+    import time
+
+    idle = 0.0
+    while True:
+        line = handle.readline()
+        if line:
+            idle = 0.0
+            yield line
+            continue
+        if idle >= idle_timeout:
+            return
+        time.sleep(poll_interval)
+        idle += poll_interval
+
+
+def _cmd_stream(args) -> int:
+    from dataclasses import replace
+
+    from repro.sim.io import read_packets_jsonl_chunks
+    from repro.stream import StreamingReconstructor, format_stream_report
+
+    config = _domo_config(args)
+    if args.window_span_ms is not None:
+        config = replace(config, window_span_ms=args.window_span_ms)
+    committed_windows = 0
+    committed_estimates = 0
+
+    def consume(batch) -> None:
+        nonlocal committed_windows, committed_estimates
+        for cw in batch:
+            committed_windows += 1
+            committed_estimates += cw.num_estimates
+            if args.verbose:
+                print(
+                    f"window {cw.solve_index:4d} committed: "
+                    f"{cw.num_estimates} estimates, "
+                    f"seal->commit {1e3 * cw.seal_to_commit_s:.1f} ms",
+                    file=sys.stderr,
+                )
+
+    with StreamingReconstructor(config, lateness_ms=args.lateness_ms) as engine:
+        try:
+            if args.path == "-":
+                chunks = read_packets_jsonl_chunks(sys.stdin, args.chunk)
+                for chunk in chunks:
+                    engine.ingest(chunk)
+                    consume(engine.poll())
+            elif args.follow:
+                with open(args.path, "r", encoding="utf-8") as handle:
+                    lines = _follow_lines(
+                        handle, args.poll_interval, args.idle_timeout
+                    )
+                    for chunk in read_packets_jsonl_chunks(lines, args.chunk):
+                        engine.ingest(chunk)
+                        consume(engine.poll())
+            else:
+                for chunk in read_packets_jsonl_chunks(args.path, args.chunk):
+                    engine.ingest(chunk)
+                    consume(engine.poll())
+        except KeyboardInterrupt:
+            print("interrupted: flushing open windows", file=sys.stderr)
+        consume(engine.flush())
+        telemetry = engine.telemetry
+
+    print(f"committed windows     : {committed_windows}")
+    print(f"committed estimates   : {committed_estimates}")
+    print(format_stream_report(telemetry))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="domo",
@@ -230,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = commands.add_parser("simulate", help="run the simulator")
     _add_scenario_arguments(simulate)
+    simulate.add_argument(
+        "--save-stream", type=str, default=None,
+        help="also write the received packets as JSON Lines in "
+             "sink-arrival order (the input format of 'domo stream')",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     estimate = commands.add_parser("estimate", help="Domo estimation demo")
@@ -269,6 +357,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--kinds", type=str, default=None,
         help="comma-separated injector kinds (default: all)")
     faults.set_defaults(handler=_cmd_faults)
+
+    stream = commands.add_parser(
+        "stream",
+        help="incremental reconstruction over a JSON Lines packet stream",
+    )
+    stream.add_argument(
+        "path", type=str,
+        help="JSONL trace ('domo simulate --save-stream'); '-' reads stdin")
+    stream.add_argument(
+        "--lateness-ms", type=float, default=5_000.0,
+        help="watermark allowance for out-of-order arrivals before a "
+             "window seals (default 5000; 'inf' defers all work to the "
+             "end-of-stream flush)")
+    stream.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing the file for new records instead of stopping "
+             "at end-of-file")
+    stream.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between polls of a followed file (default 0.5)")
+    stream.add_argument(
+        "--idle-timeout", type=float, default=10.0,
+        help="stop following after this many idle seconds (default 10)")
+    stream.add_argument(
+        "--chunk", type=_positive_int, default=256,
+        help="packets per ingest call (default 256)")
+    stream.add_argument(
+        "--window-span-ms", type=float, default=None,
+        help="explicit window span; default: auto from packet density")
+    stream.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="solve sealed windows on a process pool with this many "
+             "workers (>1 enables parallel execution)")
+    stream.add_argument(
+        "--verbose", action="store_true",
+        help="log each window commit to stderr as it happens")
+    stream.set_defaults(handler=_cmd_stream)
     return parser
 
 

@@ -17,14 +17,15 @@ truth.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field, replace
 
 from repro.core.bounds import BoundComputer, BoundResult, BoundsConfig
 from repro.core.constraints import ConstraintConfig, build_constraints
 from repro.core.estimator import EstimatorConfig
-from repro.core.preprocessor import build_window_systems, choose_window_span
-from repro.core.records import ArrivalKey, TraceIndex
+from repro.core.preprocessor import choose_window_span
+from repro.core.records import ArrivalKey, TraceIndex, assemble_arrival_vector
 from repro.core.sdr import SdrConfig
 from repro.core.validation import (
     ValidationConfig,
@@ -35,6 +36,32 @@ from repro.sim.packet import PacketId
 from repro.sim.trace import ReceivedPacket, TraceBundle
 
 FIFO_MODES = ("linearized", "sdr", "none")
+
+
+def constraint_config_for(
+    config: "DomoConfig", report: ValidationReport | None = None
+) -> ConstraintConfig:
+    """The effective constraint config for one reconstruction run.
+
+    Shared by the batch entry points and the streaming engine so both
+    arm the same degradations: ``fifo_mode="none"`` suppresses pair
+    resolution via an empty horizon, and detected corruption switches
+    on the constraint-level fallbacks (flagged S(p) fields emit no sum
+    rows; quarantined packets — known loss — downgrade Eq. (6) to the
+    loss-tolerant C*(p)-only Eq. (7) form).
+    """
+    cfg = config.constraints
+    if config.fifo_mode == "none":
+        cfg = replace(cfg, fifo_horizon_ms=0.0)
+    if report is not None and not report.clean:
+        cfg = replace(
+            cfg,
+            distrusted_sum_ids=frozenset(report.distrusted_sums),
+            loss_aware_sums=(
+                cfg.loss_aware_sums or report.num_quarantined > 0
+            ),
+        )
+    return cfg
 
 
 @dataclass
@@ -203,110 +230,61 @@ class DomoReconstructor:
     def _constraint_config(
         self, report: ValidationReport | None = None
     ) -> ConstraintConfig:
-        cfg = self.config.constraints
-        if self.config.fifo_mode == "none":
-            # Ablation: suppress pair resolution entirely by giving the
-            # enumerator an empty horizon.
-            cfg = replace(cfg, fifo_horizon_ms=0.0)
-        if report is not None and not report.clean:
-            # Detected corruption arms the constraint-level degradation:
-            # flagged S(p) fields emit no sum rows, and quarantined
-            # packets (= known loss) downgrade Eq. (6) to the
-            # loss-tolerant C*(p)-only Eq. (7) form.
-            cfg = replace(
-                cfg,
-                distrusted_sum_ids=frozenset(report.distrusted_sums),
-                loss_aware_sums=(
-                    cfg.loss_aware_sums or report.num_quarantined > 0
-                ),
-            )
-        return cfg
-
-    @staticmethod
-    def _degradation_stats(report: ValidationReport, systems) -> dict:
-        """Degradation counters merged into the reconstruction stats."""
-        degraded = sum(
-            ws.system.stats.get("sum_rows_distrusted", 0)
-            + ws.system.stats.get("sum_upper_degraded", 0)
-            for ws in systems
-        )
-        return {
-            "quarantined_packets": report.num_quarantined,
-            "degraded_constraints": degraded,
-            "validation": report.as_dict(),
-        }
+        return constraint_config_for(self.config, report)
 
     # ------------------------------------------------------------------
 
     def estimate(self, trace) -> DelayReconstruction:
         """Estimated arrival times via windowed Eq. (8) optimization.
 
-        With ``config.parallel`` the independent window subproblems run
-        on a process pool; the merged result is identical to a serial
-        run (same solves, merged in window order).
+        Runs as "ingest everything, then flush" on the streaming engine
+        (:class:`~repro.stream.engine.StreamingReconstructor`): an
+        infinite lateness allowance defers every window seal to the
+        flush, at which point the engine plans the same window grid over
+        the same packet set the batch planner would — so the result is
+        identical to the historical batch sweep. With
+        ``config.parallel`` the independent window subproblems run on a
+        process pool; the merged result is identical to a serial run
+        (same solves, merged in window order).
         """
-        # Imported here, not at module scope: repro.runtime builds on the
-        # core solving modules, so a top-level import would be circular.
-        from repro.runtime.executor import WindowSolveSpec, execute_windows
-        from repro.runtime.telemetry import summarize_telemetry
+        # Imported here, not at module scope: repro.stream builds on this
+        # module, so a top-level import would be circular.
+        from repro.stream.engine import StreamingReconstructor
 
         packets, vreport = self._prepare(trace)
         config = self.config
-        span = (
-            config.window_span_ms
-            if config.window_span_ms is not None
-            else choose_window_span(packets, config.target_window_packets)
-        )
         started = time.perf_counter()
-        systems = build_window_systems(
-            packets,
-            self._constraint_config(vreport),
-            window_span_ms=span,
-            effective_ratio=config.effective_window_ratio,
-        )
-        report = execute_windows(
-            systems,
-            WindowSolveSpec(
-                fifo_mode=config.fifo_mode,
-                estimator=config.estimator,
-                sdr=config.sdr,
-            ),
-            parallel=config.parallel,
-            max_workers=config.max_workers,
-        )
+        with StreamingReconstructor(config, lateness_ms=math.inf) as engine:
+            engine.ingest(packets, report=vreport)
+            committed = engine.flush()
+            stats = engine.stats()
+            span = engine.window_span_ms
         estimates: dict[ArrivalKey, float] = {}
-        for result in report.results:
-            estimates.update(result.estimates)
-        stats = summarize_telemetry(
-            [result.telemetry for result in report.results]
-        )
-        stats["execution_mode"] = report.mode
-        stats["workers"] = report.workers
-        if report.fallback_reason is not None:
-            stats["parallel_fallback_reason"] = report.fallback_reason
-        stats["window_span_ms"] = span
-        stats.update(self._degradation_stats(vreport, systems))
+        for window in committed:
+            estimates.update(window.estimates)
+        if span is None:  # empty trace: the grid was never anchored
+            span = (
+                config.window_span_ms
+                if config.window_span_ms is not None
+                else choose_window_span(packets, config.target_window_packets)
+            )
+            stats["window_span_ms"] = span
         elapsed = time.perf_counter() - started
 
         # Assemble full arrival vectors (fall back to interval midpoints
-        # for any unknown not covered by a kept window region).
+        # for any unknown not covered by a kept window region). The
+        # TraceIndex also re-checks id uniqueness for validation="off".
         full_index = TraceIndex(packets, omega_ms=config.omega_ms)
-        arrival_times: dict[PacketId, list[float]] = {}
-        for packet in full_index.packets:
-            times = []
-            for key in full_index.keys_of(packet):
-                if full_index.is_known(key):
-                    times.append(full_index.known_value(key))
-                elif key in estimates:
-                    times.append(estimates[key])
-                else:
-                    lo, hi = full_index.trivial_interval(key)
-                    times.append(0.5 * (lo + hi))
-            arrival_times[packet.packet_id] = times
+        arrival_times: dict[PacketId, list[float]] = {
+            packet.packet_id: assemble_arrival_vector(
+                packet, estimates, config.omega_ms
+            )
+            for packet in full_index.packets
+        }
         return DelayReconstruction(
             arrival_times=arrival_times,
             estimates=estimates,
-            windows_used=len(systems),
+            windows_used=len(committed),
             solve_time_s=elapsed,
             stats=stats,
         )

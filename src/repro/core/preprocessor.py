@@ -9,6 +9,7 @@ the estimation or SDR optimizers.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,6 +82,37 @@ def choose_window_span(
     return min(max(minimum_span_ms, span), duration + 1.0)
 
 
+def generation_order(packets: list[ReceivedPacket]) -> list[ReceivedPacket]:
+    """Packets sorted by (t0, source, seqno) — the canonical sweep order."""
+    return sorted(
+        packets,
+        key=lambda p: (
+            p.generation_time_ms,
+            p.packet_id.source,
+            p.packet_id.seqno,
+        ),
+    )
+
+
+def make_window_system(
+    window: TimeWindow,
+    members: list[ReceivedPacket],
+    kept_ids: set[PacketId],
+    constraint_config: ConstraintConfig,
+) -> WindowSystem:
+    """Assemble one window's constraint system from its member packets.
+
+    Shared between the batch sweep below and the streaming engine's
+    seal step, so both paths build byte-identical systems for the same
+    membership.
+    """
+    index = TraceIndex(members, omega_ms=constraint_config.omega_ms)
+    system = build_constraints(index, constraint_config)
+    return WindowSystem(
+        window=window, index=index, system=system, kept_ids=kept_ids
+    )
+
+
 def build_window_systems(
     packets: list[ReceivedPacket],
     constraint_config: ConstraintConfig,
@@ -91,26 +123,33 @@ def build_window_systems(
 
     Windows with no packets are skipped; each packet's estimate is *kept*
     from exactly one window (the one whose keep region covers its t0).
+
+    Membership is assigned with a single sort followed by a bisect sweep
+    over window boundaries — O(n log n + w log n) — instead of rescanning
+    every packet for every window. Output is independent of the input
+    order: ties on t0 are broken by packet id, and the per-window
+    :class:`TraceIndex` sorts its members anyway.
     """
     if not packets:
         return []
-    t0s = [p.generation_time_ms for p in packets]
+    ordered = generation_order(packets)
+    t0s = [p.generation_time_ms for p in ordered]
     windows = plan_windows(t0s, window_span_ms, effective_ratio)
     systems: list[WindowSystem] = []
     for window in windows:
-        members = [p for p in packets if window.contains(p.generation_time_ms)]
-        if not members:
+        # Half-open [start, end) membership == bisect_left boundaries;
+        # -INF/INF keep fixups degenerate to the member range itself.
+        lo = bisect.bisect_left(t0s, window.start_ms)
+        hi = bisect.bisect_left(t0s, window.end_ms, lo)
+        if lo == hi:
             continue
-        kept = {
-            p.packet_id
-            for p in members
-            if window.keeps(p.generation_time_ms)
-        }
+        members = ordered[lo:hi]
+        keep_lo = bisect.bisect_left(t0s, window.keep_start_ms, lo, hi)
+        keep_hi = bisect.bisect_left(t0s, window.keep_end_ms, lo, hi)
+        kept = {p.packet_id for p in ordered[keep_lo:keep_hi]}
         if not kept:
             continue
-        index = TraceIndex(members, omega_ms=constraint_config.omega_ms)
-        system = build_constraints(index, constraint_config)
         systems.append(
-            WindowSystem(window=window, index=index, system=system, kept_ids=kept)
+            make_window_system(window, members, kept, constraint_config)
         )
     return systems

@@ -11,11 +11,21 @@ arrival time must lie in given only the order constraint (Eq. (5)):
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.sim.packet import PacketId
 from repro.sim.trace import ReceivedPacket
+
+
+def _packet_order(packet: ReceivedPacket) -> tuple[float, int, int]:
+    """Canonical sort key of the index: (t0, source, seqno)."""
+    return (
+        packet.generation_time_ms,
+        packet.packet_id.source,
+        packet.packet_id.seqno,
+    )
 
 
 @dataclass(frozen=True, order=True)
@@ -42,11 +52,7 @@ class TraceIndex:
         if omega_ms < 0:
             raise ValueError("omega must be nonnegative")
         self.omega_ms = omega_ms
-        self.packets = sorted(
-            packets,
-            key=lambda p: (p.generation_time_ms, p.packet_id.source,
-                           p.packet_id.seqno),
-        )
+        self.packets = sorted(packets, key=_packet_order)
         self.by_id: dict[PacketId, ReceivedPacket] = {
             p.packet_id: p for p in self.packets
         }
@@ -54,9 +60,46 @@ class TraceIndex:
             raise ValueError("duplicate packet ids in trace")
         #: node -> [(packet, hop at which the packet visits the node)]
         self.node_visits: dict[int, list[tuple[ReceivedPacket, int]]] = {}
+        #: source -> its received packets in seqno order (bisect lookups).
+        self._by_source: dict[int, list[ReceivedPacket]] = {}
         for packet in self.packets:
-            for hop, node in enumerate(packet.path[:-1]):
-                self.node_visits.setdefault(node, []).append((packet, hop))
+            self._register(packet)
+
+    def _register(self, packet: ReceivedPacket) -> None:
+        """Fold one packet into the derived lookup structures.
+
+        Called in sorted order by the constructor, so plain appends keep
+        ``node_visits`` ordered; :meth:`add` inserts out of order and
+        restores the invariant with a sorted insert instead.
+        """
+        for hop, node in enumerate(packet.path[:-1]):
+            self.node_visits.setdefault(node, []).append((packet, hop))
+        own = self._by_source.setdefault(packet.packet_id.source, [])
+        bisect.insort(own, packet, key=lambda p: p.packet_id.seqno)
+
+    def add(self, packet: ReceivedPacket) -> None:
+        """Incrementally insert one packet, preserving sorted order.
+
+        The streaming ingest path: a sorted insert plus bisect-maintained
+        per-source/per-node structures, so an index grown packet by packet
+        is indistinguishable from one built from the full list at once.
+        """
+        if packet.packet_id in self.by_id:
+            raise ValueError(f"duplicate packet id {packet.packet_id}")
+        bisect.insort(self.packets, packet, key=_packet_order)
+        self.by_id[packet.packet_id] = packet
+        key = _packet_order(packet)
+        for hop, node in enumerate(packet.path[:-1]):
+            visits = self.node_visits.setdefault(node, [])
+            # Visits stay ordered by (t0, source, seqno, hop) — the order
+            # the constructor produces — so pair enumeration is identical
+            # however the index was grown.
+            position = bisect.bisect_left(
+                visits, (*key, hop), key=lambda v: (*_packet_order(v[0]), v[1])
+            )
+            visits.insert(position, (packet, hop))
+        own = self._by_source.setdefault(packet.packet_id.source, [])
+        bisect.insort(own, packet, key=lambda p: p.packet_id.seqno)
 
     # ------------------------------------------------------------------
     # Classification
@@ -117,9 +160,7 @@ class TraceIndex:
 
     def local_packets_of(self, node: int) -> list[ReceivedPacket]:
         """Received packets generated *by* ``node``, in seqno order."""
-        own = [p for p in self.packets if p.packet_id.source == node]
-        own.sort(key=lambda p: p.packet_id.seqno)
-        return own
+        return list(self._by_source.get(node, []))
 
     def previous_local_packet(
         self, packet: ReceivedPacket
@@ -130,10 +171,12 @@ class TraceIndex:
         The caller must check :meth:`has_seqno_gap` before trusting
         sum-of-delays constraints built on this pair.
         """
-        own = self.local_packets_of(packet.packet_id.source)
-        index = next(
-            i for i, p in enumerate(own) if p.packet_id == packet.packet_id
+        own = self._by_source.get(packet.packet_id.source, [])
+        index = bisect.bisect_left(
+            own, packet.packet_id.seqno, key=lambda p: p.packet_id.seqno
         )
+        if index >= len(own) or own[index].packet_id != packet.packet_id:
+            raise ValueError(f"{packet.packet_id} is not in this index")
         return own[index - 1] if index > 0 else None
 
     def has_seqno_gap(
@@ -146,3 +189,34 @@ class TraceIndex:
         ``previous`` soundly.
         """
         return packet.packet_id.seqno != previous.packet_id.seqno + 1
+
+
+def assemble_arrival_vector(
+    packet: ReceivedPacket,
+    estimates: dict[ArrivalKey, float],
+    omega_ms: float,
+) -> list[float]:
+    """One packet's full arrival-time vector (index = hop).
+
+    Knowns (t0, sink arrival) are taken from the packet; interior hops
+    come from ``estimates`` and fall back to the Eq. (5) trivial-interval
+    midpoint when no kept window covered them. Only per-packet quantities
+    enter, so the batch pipeline and the streaming engine assemble
+    bit-identical vectors from the same estimates.
+    """
+    last = packet.path_length - 1
+    times: list[float] = []
+    for hop in range(packet.path_length):
+        if hop == 0:
+            times.append(packet.generation_time_ms)
+        elif hop == last:
+            times.append(packet.sink_arrival_ms)
+        else:
+            key = ArrivalKey(packet.packet_id, hop)
+            value = estimates.get(key)
+            if value is None:
+                low = packet.generation_time_ms + hop * omega_ms
+                high = packet.sink_arrival_ms - (last - hop) * omega_ms
+                value = 0.5 * (low + high)
+            times.append(value)
+    return times

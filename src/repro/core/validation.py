@@ -173,6 +173,7 @@ def _strict(packet_id, field_name: str, reason: str):
 def validate_packets(
     packets: list[ReceivedPacket],
     config: ValidationConfig | None = None,
+    first_t0_ms: float | None = None,
 ) -> tuple[list[ReceivedPacket], ValidationReport]:
     """Validate a received-packet list per the configured mode.
 
@@ -180,6 +181,12 @@ def validate_packets(
     order plus the report. When nothing is wrong the *input objects* are
     returned unchanged, so a clean trace reconstructs byte-identically to
     the unvalidated pipeline.
+
+    Args:
+        first_t0_ms: reference start of the trace for the S(p) budget
+            check. Defaults to the minimum finite t0 in ``packets``;
+            a chunked caller (the streaming engine) passes its running
+            minimum so the budget does not depend on chunk boundaries.
     """
     config = config or ValidationConfig()
     report = ValidationReport(mode=config.mode, total_packets=len(packets))
@@ -188,9 +195,17 @@ def validate_packets(
 
     strict = config.mode == "strict"
     drop = config.mode == "drop"
-    first_t0 = min(
-        (p.generation_time_ms for p in packets if _finite(p.generation_time_ms)),
-        default=0.0,
+    first_t0 = (
+        first_t0_ms
+        if first_t0_ms is not None
+        else min(
+            (
+                p.generation_time_ms
+                for p in packets
+                if _finite(p.generation_time_ms)
+            ),
+            default=0.0,
+        )
     )
     seen_ids: set = set()
     survivors: list[ReceivedPacket] = []

@@ -10,9 +10,9 @@ the kept regions tile the timeline exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
-INF = float("inf")
+from repro.optim.modeling import INF
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,42 @@ class TimeWindow:
     def keeps(self, t0_ms: float) -> bool:
         """Whether this window's estimate for the packet is the kept one."""
         return self.keep_start_ms <= t0_ms < self.keep_end_ms
+
+
+def iter_window_grid(
+    t_min: float,
+    window_span_ms: float,
+    effective_ratio: float = 0.5,
+) -> Iterator[TimeWindow]:
+    """Infinite generator of nominal windows anchored at ``t_min``.
+
+    Window ``k`` starts at ``t_min - margin + k * stride`` and keeps its
+    central ``effective_ratio`` fraction. The start positions are
+    accumulated by repeated addition — exactly the arithmetic
+    :func:`plan_windows` performs — so the batch planner and the
+    streaming engine see bit-identical window boundaries and a packet
+    sitting exactly on a boundary lands in the same window either way.
+
+    The nominal grid has no first/last-window fixups: the consumer is
+    responsible for widening window 0's keep region down to ``-INF`` and
+    the final window's up to ``+INF`` (see :func:`plan_windows`).
+    """
+    if not 0.0 < effective_ratio <= 1.0:
+        raise ValueError(f"effective ratio {effective_ratio} outside (0, 1]")
+    if window_span_ms <= 0.0:
+        raise ValueError("window span must be positive")
+    stride = window_span_ms * effective_ratio
+    margin = 0.5 * (window_span_ms - stride)
+    start = t_min - margin
+    while True:
+        keep_start = start + margin
+        yield TimeWindow(
+            start_ms=start,
+            end_ms=start + window_span_ms,
+            keep_start_ms=keep_start,
+            keep_end_ms=keep_start + stride,
+        )
+        start += stride
 
 
 def plan_windows(
@@ -61,24 +97,18 @@ def plan_windows(
     t_min = min(generation_times)
     t_max = max(generation_times)
 
-    stride = window_span_ms * effective_ratio
-    margin = 0.5 * (window_span_ms - stride)
     windows: list[TimeWindow] = []
-    start = t_min - margin
     epsilon = 1e-9
-    while True:
-        keep_start = start + margin
-        keep_end = keep_start + stride
+    for nominal in iter_window_grid(t_min, window_span_ms, effective_ratio):
         window = TimeWindow(
-            start_ms=start,
-            end_ms=start + window_span_ms,
-            keep_start_ms=keep_start if windows else -INF,
-            keep_end_ms=keep_end,
+            start_ms=nominal.start_ms,
+            end_ms=nominal.end_ms,
+            keep_start_ms=nominal.keep_start_ms if windows else -INF,
+            keep_end_ms=nominal.keep_end_ms,
         )
         windows.append(window)
-        if keep_end > t_max + epsilon:
+        if nominal.keep_end_ms > t_max + epsilon:
             break
-        start += stride
     # The last window keeps its whole tail.
     last = windows[-1]
     windows[-1] = TimeWindow(

@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pickle import PicklingError
@@ -219,6 +220,124 @@ def resolve_worker_count(
     return max(1, min(available, num_windows))
 
 
+#: infrastructure failures that degrade a pool run to serial solving.
+POOL_ERRORS = (BrokenProcessPool, PicklingError, OSError, RuntimeError)
+
+
+class WindowExecutor:
+    """Non-blocking submit/drain engine over the window-solve pool.
+
+    The streaming pipeline submits windows one at a time as their seal
+    watermark passes and drains completed solves whenever it polls; the
+    batch pipeline submits everything up front and drains blocking. Both
+    go through the same :func:`solve_one_window`, so results are
+    identical to a plain serial sweep regardless of scheduling.
+
+    In serial mode (the default and the fallback) ``submit`` solves
+    synchronously and queues the result for the next ``drain``. In
+    parallel mode solves run on a lazily created
+    :class:`~concurrent.futures.ProcessPoolExecutor`; any pool
+    infrastructure failure re-solves the affected windows in-process and
+    permanently degrades the executor to serial (``fallback_reason``
+    records why) — a broken pool never fails or drops a window.
+    """
+
+    def __init__(
+        self,
+        spec: WindowSolveSpec,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.max_workers = max_workers
+        self.mode = "parallel" if parallel else "serial"
+        self.workers = (
+            resolve_worker_count(max_workers or os.cpu_count() or 1, max_workers)
+            if parallel
+            else 1
+        )
+        self.fallback_reason: str | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._pending: dict = {}  # future -> payload
+        self._done: deque[WindowResult] = deque()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted windows whose results have not been drained yet."""
+        return len(self._pending) + len(self._done)
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Fall back to serial: re-solve everything the pool still owed."""
+        if self.fallback_reason is None:
+            self.fallback_reason = f"{type(exc).__name__}: {exc}"
+        self.mode = "serial"
+        self.workers = 1
+        pending = list(self._pending.values())
+        self._pending.clear()
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+        for payload in pending:
+            self._done.append(_solve_entry(payload))
+
+    def submit(self, window_index: int, ws: WindowSystem) -> None:
+        """Queue one window for solving; never blocks on the solve.
+
+        (Serial mode solves inline, which does take the solve's wall
+        time, but nothing waits on other windows.)
+        """
+        payload = (window_index, ws, self.spec)
+        if self.mode != "parallel":
+            self._done.append(_solve_entry(payload))
+            return
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            future = self._pool.submit(_solve_entry, payload)
+        except POOL_ERRORS as exc:
+            self._degrade(exc)
+            self._done.append(_solve_entry(payload))
+            return
+        self._pending[future] = payload
+
+    def drain(self, block: bool = False) -> list[WindowResult]:
+        """Completed window results, in completion order.
+
+        With ``block=False`` returns whatever has finished so far; with
+        ``block=True`` waits for every submitted window first. Callers
+        needing window order sort on ``WindowResult.window_index``.
+        """
+        while self._pending:
+            done, _ = wait(
+                list(self._pending), timeout=None if block else 0.0
+            )
+            for future in done:
+                payload = self._pending.pop(future)
+                try:
+                    self._done.append(future.result())
+                except POOL_ERRORS as exc:
+                    self._done.append(_solve_entry(payload))
+                    self._degrade(exc)
+            if not block or not done:
+                break
+        results = list(self._done)
+        self._done.clear()
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (pending futures are drained first)."""
+        if self._pending:
+            self.drain(block=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
 def execute_windows(
     systems: list[WindowSystem],
     spec: WindowSolveSpec,
@@ -229,27 +348,24 @@ def execute_windows(
 
     Results come back ordered by window index regardless of completion
     order, so downstream merging is deterministic and parallel runs are
-    estimate-for-estimate identical to serial ones.
+    estimate-for-estimate identical to serial ones. This is the blocking
+    batch map over :class:`WindowExecutor`'s submit/drain engine.
     """
-    payloads = [
-        (index, ws, spec) for index, ws in enumerate(systems)
-    ]
     workers = resolve_worker_count(len(systems), max_workers)
-    if not parallel or workers <= 1 or len(systems) <= 1:
-        return ExecutionReport(
-            results=[_solve_entry(p) for p in payloads],
-            mode="serial",
-            workers=1,
-        )
+    use_parallel = parallel and workers > 1 and len(systems) > 1
+    executor = WindowExecutor(
+        spec, parallel=use_parallel, max_workers=workers
+    )
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_solve_entry, payloads))
-        return ExecutionReport(results=results, mode="parallel", workers=workers)
-    except (BrokenProcessPool, PicklingError, OSError, RuntimeError) as exc:
-        # Degrade gracefully: a broken pool must not fail the run.
-        return ExecutionReport(
-            results=[_solve_entry(p) for p in payloads],
-            mode="serial",
-            workers=1,
-            fallback_reason=f"{type(exc).__name__}: {exc}",
-        )
+        for index, ws in enumerate(systems):
+            executor.submit(index, ws)
+        results = executor.drain(block=True)
+    finally:
+        executor.close()
+    results.sort(key=lambda result: result.window_index)
+    return ExecutionReport(
+        results=results,
+        mode=executor.mode,
+        workers=executor.workers,
+        fallback_reason=executor.fallback_reason,
+    )

@@ -237,6 +237,98 @@ def _read_payload(path: Path) -> str:
         ) from exc
 
 
+def packet_to_json(packet: ReceivedPacket) -> dict:
+    """One received packet as the JSON record shape of the trace format."""
+    return {
+        "id": _packet_id_to_json(packet.packet_id),
+        "path": list(packet.path),
+        "t0": packet.generation_time_ms,
+        "t_sink": packet.sink_arrival_ms,
+        "sum_of_delays": packet.sum_of_delays_ms,
+    }
+
+
+def save_packets_jsonl(
+    packets, path: str | Path, sort_by_arrival: bool = False
+) -> int:
+    """Write received packets as JSON Lines (one record per line).
+
+    This is the streaming counterpart of :func:`save_trace`: the file can
+    be consumed incrementally (or tailed) by ``repro.cli stream`` and
+    :func:`iter_packets_jsonl` without parsing one huge document. A
+    ``.gz`` suffix gzip-compresses. With ``sort_by_arrival`` the packets
+    are written in sink-arrival order — the order a live sink would emit
+    them. Returns the number of records written.
+    """
+    path = Path(path)
+    packets = list(packets)
+    if sort_by_arrival:
+        packets.sort(key=lambda p: p.sink_arrival_ms)
+    opener = gzip.open if path.suffix == ".gz" else open
+    count = 0
+    with opener(path, "wt", encoding="utf-8") as handle:
+        for packet in packets:
+            handle.write(
+                json.dumps(packet_to_json(packet), separators=(",", ":"))
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_packets_jsonl(source):
+    """Yield :class:`ReceivedPacket` records from a JSON Lines stream.
+
+    ``source`` is a path (``.gz`` suffixes are gzip-decompressed) or any
+    iterable of text lines (an open file handle, ``sys.stdin``, a tailing
+    generator). Blank lines are skipped; a malformed line raises
+    :class:`TraceFormatError` naming its line number.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        opener = gzip.open if path.suffix == ".gz" else open
+        try:
+            with opener(path, "rt", encoding="utf-8") as handle:
+                yield from iter_packets_jsonl(handle)
+        except FileNotFoundError:
+            raise TraceFormatError(f"trace file not found: {path}") from None
+        except (OSError, EOFError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(
+                f"corrupt JSONL trace {path}: {exc}"
+            ) from exc
+        return
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            item = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"JSONL line {lineno} is not valid JSON: {exc}"
+            ) from exc
+        yield _parse_received(item, lineno)
+
+
+def read_packets_jsonl_chunks(source, chunk_size: int = 256):
+    """Batch :func:`iter_packets_jsonl` into lists of ``chunk_size``.
+
+    The ingestion granularity of the streaming engine: each chunk is one
+    ``StreamingReconstructor.ingest`` call, so ``chunk_size`` trades
+    ingest overhead against seal latency.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunk: list[ReceivedPacket] = []
+    for packet in iter_packets_jsonl(source):
+        chunk.append(packet)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
 def load_trace(path: str | Path, validation=None) -> TraceBundle:
     """Read a trace written by :func:`save_trace`.
 

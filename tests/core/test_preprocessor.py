@@ -117,6 +117,30 @@ def test_keep_boundary_packet_kept_exactly_once():
         )
 
 
+def test_unsorted_input_builds_identical_systems():
+    """The bisect sweep is input-order independent (it sorts first)."""
+    packets = _stream(num_sources=4, packets_per_source=15, period=600.0)
+    rng = np.random.default_rng(5)
+    shuffled = list(packets)
+    rng.shuffle(shuffled)
+    assert shuffled != packets  # the scenario does exercise reordering
+    reference = build_window_systems(
+        packets, ConstraintConfig(), window_span_ms=2_000.0
+    )
+    permuted = build_window_systems(
+        shuffled, ConstraintConfig(), window_span_ms=2_000.0
+    )
+    assert len(reference) == len(permuted)
+    for left, right in zip(reference, permuted):
+        assert left.window == right.window
+        assert left.kept_ids == right.kept_ids
+        assert [p.packet_id for p in left.index.packets] == [
+            p.packet_id for p in right.index.packets
+        ]
+        assert left.system.intervals == right.system.intervals
+        assert len(left.system.builder) == len(right.system.builder)
+
+
 def test_empty_input():
     assert build_window_systems([], ConstraintConfig(), 1000.0) == []
 

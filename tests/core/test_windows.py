@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.windows import plan_windows
+from repro.core.windows import iter_window_grid, plan_windows
 
 
 def test_single_window_when_span_covers_everything():
@@ -50,6 +50,64 @@ def test_ratio_one_means_disjoint_windows():
 
 def test_empty_input():
     assert plan_windows([], 100.0) == []
+
+
+def test_single_packet_gets_one_all_covering_window():
+    windows = plan_windows([42.0], window_span_ms=100.0, effective_ratio=0.5)
+    assert len(windows) == 1
+    w = windows[0]
+    assert w.contains(42.0) and w.keeps(42.0)
+    assert w.keep_start_ms == -np.inf
+    assert w.keep_end_ms == np.inf
+
+
+def test_all_identical_generation_times():
+    """A zero-duration trace still plans exactly one covering window."""
+    windows = plan_windows([7.0] * 25, window_span_ms=50.0,
+                           effective_ratio=0.3)
+    assert len(windows) == 1
+    assert windows[0].contains(7.0) and windows[0].keeps(7.0)
+
+
+def test_ratio_one_keeps_each_packet_exactly_once():
+    """With ratio 1.0 (no overlap) keep == solve; tiling still holds."""
+    t0s = [0.0, 500.0, 1_000.0, 1_999.999, 2_000.0, 3_500.0]
+    windows = plan_windows(t0s, window_span_ms=2_000.0, effective_ratio=1.0)
+    for t in t0s:
+        keepers = [w for w in windows if w.keeps(t)]
+        assert len(keepers) == 1
+        assert keepers[0].contains(t)
+
+
+def test_exact_keep_boundary_kept_by_exactly_one_window():
+    """t0 exactly on a keep boundary goes to the later window, only it.
+
+    Span 2000 / ratio 0.5 puts keep boundaries at multiples of 1000
+    (half-open [keep_start, keep_end) regions).
+    """
+    t0s = [0.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0]
+    windows = plan_windows(t0s, window_span_ms=2_000.0, effective_ratio=0.5)
+    assert len(windows) >= 3
+    for t in t0s:
+        keepers = [i for i, w in enumerate(windows) if w.keeps(t)]
+        assert len(keepers) == 1, f"t={t} kept by windows {keepers}"
+    # The boundary packet belongs to the window whose keep region starts
+    # there, not the one ending there.
+    inner = [w for w in windows if w.keep_start_ms == 2_000.0]
+    assert len(inner) == 1 and inner[0].keeps(2_000.0)
+
+
+def test_grid_matches_plan_windows_boundaries():
+    """The streaming grid and the batch planner share bit-identical
+    window boundaries (same repeated-addition arithmetic)."""
+    t0s = list(np.linspace(3.7, 25_013.9, 157))
+    span, ratio = 1_234.5, 0.4
+    planned = plan_windows(t0s, window_span_ms=span, effective_ratio=ratio)
+    grid = iter_window_grid(min(t0s), span, ratio)
+    for planned_window in planned:
+        nominal = next(grid)
+        assert planned_window.start_ms == nominal.start_ms
+        assert planned_window.end_ms == nominal.end_ms
 
 
 def test_invalid_parameters():

@@ -205,3 +205,45 @@ def test_telemetry_records_solve_shape():
         assert telemetry.num_kept == len(result.estimates)
         assert telemetry.solver == "linearized"
         assert telemetry.solve_time_s >= 0.0
+
+
+def test_window_executor_serial_submit_drain():
+    from repro.runtime.executor import WindowExecutor
+
+    systems = _systems()
+    executor = WindowExecutor(WindowSolveSpec(), parallel=False)
+    try:
+        for index, ws in enumerate(systems):
+            executor.submit(index, ws)
+        assert executor.in_flight == len(systems)
+        results = executor.drain()
+        assert executor.in_flight == 0
+        # Serial submits solve inline, so results come in submit order.
+        assert [r.window_index for r in results] == list(range(len(systems)))
+        assert executor.drain() == []
+    finally:
+        executor.close()
+
+
+def test_window_executor_incremental_parallel_drain():
+    """Streaming-style use: submit one at a time, drain non-blocking,
+    block only at the end; results match a serial sweep exactly."""
+    from repro.runtime.executor import WindowExecutor
+
+    systems = _systems()
+    serial = execute_windows(systems, WindowSolveSpec())
+    executor = WindowExecutor(WindowSolveSpec(), parallel=True, max_workers=2)
+    collected = []
+    try:
+        for index, ws in enumerate(systems):
+            executor.submit(index, ws)
+            collected.extend(executor.drain(block=False))
+        collected.extend(executor.drain(block=True))
+    finally:
+        executor.close()
+    assert executor.in_flight == 0
+    collected.sort(key=lambda r: r.window_index)
+    assert len(collected) == len(serial.results)
+    for left, right in zip(collected, serial.results):
+        assert left.window_index == right.window_index
+        assert left.estimates == right.estimates  # bit-identical floats

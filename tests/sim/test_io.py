@@ -176,3 +176,74 @@ def test_reconstruction_on_restored_trace(tmp_path, trace):
     original = domo.estimate(trace)
     reloaded = domo.estimate(restored)
     assert original.arrival_times == reloaded.arrival_times
+
+
+# ----------------------------------------------------------------------
+# JSON Lines streaming format
+# ----------------------------------------------------------------------
+
+
+def test_jsonl_roundtrip_preserves_packets(tmp_path, trace):
+    from repro.sim.io import iter_packets_jsonl, save_packets_jsonl
+
+    path = tmp_path / "stream.jsonl"
+    written = save_packets_jsonl(trace.received, path)
+    assert written == trace.num_received
+    restored = list(iter_packets_jsonl(path))
+    assert restored == trace.received
+
+
+def test_jsonl_sorts_by_sink_arrival_when_asked(tmp_path, trace):
+    from repro.sim.io import iter_packets_jsonl, save_packets_jsonl
+
+    path = tmp_path / "stream.jsonl"
+    save_packets_jsonl(trace.received, path, sort_by_arrival=True)
+    arrivals = [p.sink_arrival_ms for p in iter_packets_jsonl(path)]
+    assert arrivals == sorted(arrivals)
+
+
+def test_jsonl_gzip_roundtrip(tmp_path, trace):
+    from repro.sim.io import iter_packets_jsonl, save_packets_jsonl
+
+    path = tmp_path / "stream.jsonl.gz"
+    save_packets_jsonl(trace.received, path)
+    assert path.read_bytes()[:2] == GZIP_MAGIC
+    assert list(iter_packets_jsonl(path)) == trace.received
+
+
+def test_jsonl_chunked_reader_covers_everything(tmp_path, trace):
+    from repro.sim.io import read_packets_jsonl_chunks, save_packets_jsonl
+
+    path = tmp_path / "stream.jsonl"
+    save_packets_jsonl(trace.received, path)
+    chunks = list(read_packets_jsonl_chunks(path, chunk_size=7))
+    assert all(len(chunk) <= 7 for chunk in chunks)
+    assert [p for chunk in chunks for p in chunk] == trace.received
+    with pytest.raises(ValueError):
+        list(read_packets_jsonl_chunks(path, chunk_size=0))
+
+
+def test_jsonl_reads_from_any_line_iterable(trace):
+    from repro.sim.io import iter_packets_jsonl, packet_to_json
+
+    lines = [json.dumps(packet_to_json(p)) for p in trace.received[:5]]
+    lines.insert(2, "")  # blank lines are skipped
+    assert list(iter_packets_jsonl(lines)) == trace.received[:5]
+
+
+def test_jsonl_malformed_line_names_its_number(tmp_path, trace):
+    from repro.sim.io import iter_packets_jsonl, save_packets_jsonl
+
+    path = tmp_path / "stream.jsonl"
+    save_packets_jsonl(trace.received[:3], path)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write("{not json\n")
+    with pytest.raises(TraceFormatError, match="line 4"):
+        list(iter_packets_jsonl(path))
+
+
+def test_jsonl_missing_file_raises_format_error(tmp_path):
+    from repro.sim.io import iter_packets_jsonl
+
+    with pytest.raises(TraceFormatError, match="not found"):
+        list(iter_packets_jsonl(tmp_path / "absent.jsonl"))

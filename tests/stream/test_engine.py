@@ -1,0 +1,207 @@
+"""Tests of the streaming engine's state machine and bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.core.pipeline import DomoConfig
+from repro.core.validation import ValidationConfig
+from repro.stream import StreamingReconstructor
+
+from tests.core.conftest import make_received
+
+SPAN_MS = 1_000.0
+
+
+def _stream(num_sources=3, packets_per_source=20, period=400.0):
+    """Two-hop periodic traffic through forwarder 1 (interior unknowns),
+    returned in sink-arrival order (the order a live sink emits)."""
+    received = []
+    for source in range(2, 2 + num_sources):
+        for seqno in range(packets_per_source):
+            t0 = seqno * period + source * 17.0
+            packet, _ = make_received(
+                source, seqno, (source, 1, 0), (t0, t0 + 10.0, t0 + 20.0)
+            )
+            received.append(packet)
+    received.sort(key=lambda p: p.sink_arrival_ms)
+    return received
+
+
+def _engine(lateness_ms=1_500.0, **config_kwargs):
+    config_kwargs.setdefault("window_span_ms", SPAN_MS)
+    return StreamingReconstructor(
+        DomoConfig(**config_kwargs), lateness_ms=lateness_ms
+    )
+
+
+def _chunks(packets, size=10):
+    for lo in range(0, len(packets), size):
+        yield packets[lo:lo + size]
+
+
+def test_watermark_seals_and_commits_before_flush():
+    packets = _stream()
+    committed_early = []
+    with _engine() as engine:
+        for chunk in _chunks(packets):
+            engine.ingest(chunk)
+            committed_early.extend(engine.poll())
+        assert committed_early, "nothing committed before the flush"
+        tail = engine.flush()
+    assert engine.telemetry.windows_committed == len(committed_early) + len(
+        tail
+    )
+    assert engine.telemetry.windows_sealed == engine.telemetry.windows_committed
+
+
+def test_commits_arrive_in_window_order():
+    packets = _stream()
+    commits = []
+    with _engine() as engine:
+        for chunk in _chunks(packets):
+            engine.ingest(chunk)
+            commits.extend(engine.poll())
+        commits.extend(engine.flush())
+    solve_indices = [c.solve_index for c in commits]
+    assert solve_indices == list(range(len(commits)))
+    grid_indices = [c.grid_index for c in commits]
+    assert grid_indices == sorted(grid_indices)
+    for commit in commits:
+        assert commit.seal_to_commit_s >= 0.0
+        assert commit.arrival_times  # kept packets have assembled vectors
+        for key in commit.estimates:
+            assert key.packet_id in commit.arrival_times
+
+
+def test_eviction_bounds_resident_memory():
+    """Committed windows evict their packets: the peak resident set stays
+    well below the trace, and a flushed engine holds nothing."""
+    packets = _stream(num_sources=4, packets_per_source=40)
+    with _engine(lateness_ms=800.0) as engine:
+        for chunk in _chunks(packets, size=8):
+            engine.ingest(chunk)
+            engine.poll()
+        engine.flush()
+    telemetry = engine.telemetry
+    assert telemetry.ingested == len(packets)
+    assert telemetry.evicted_packets == telemetry.ingested
+    assert telemetry.peak_resident_packets < len(packets)
+    assert engine.resident_packets == 0
+    assert telemetry.resident_packets == 0
+
+
+def test_flush_is_terminal_for_pending_windows_but_stream_stays_usable():
+    packets = _stream()
+    with _engine() as engine:
+        engine.ingest(packets[: len(packets) // 2])
+        first = engine.flush()
+        assert first
+        assert engine.flush() == []  # idempotent: nothing left to seal
+        # Later (non-late) traffic still flows through the same grid.
+        engine.ingest(packets[len(packets) // 2:])
+        second = engine.flush()
+    assert second
+    earlier = max(c.grid_index for c in first)
+    assert min(c.grid_index for c in second) > earlier
+
+
+def test_duplicate_ids_across_chunks_are_quarantined():
+    packets = _stream()
+    with _engine(validation=ValidationConfig(mode="off")) as engine:
+        engine.ingest(packets)
+        engine.ingest(packets[:3])  # replay across chunk boundaries
+        engine.flush()
+    assert engine.telemetry.duplicates == 3
+    assert engine.telemetry.ingested == len(packets)
+    reasons = engine.report.reason_counts()
+    assert reasons.get("duplicate_ingest") == 3
+
+
+def test_late_packet_is_quarantined_not_solved():
+    packets = _stream()
+    late_source = packets[0]
+    with _engine(lateness_ms=100.0) as engine:
+        engine.ingest(packets)
+        engine.poll()
+        assert engine.telemetry.windows_sealed > 0
+        # A straggler whose keeping window sealed long ago: same t0 as
+        # the first packet, arriving at the end of the stream.
+        straggler, _ = make_received(
+            9, 0,
+            (9, 1, 0),
+            (late_source.generation_time_ms,
+             late_source.generation_time_ms + 11.0,
+             packets[-1].sink_arrival_ms + 5.0),
+        )
+        engine.ingest([straggler])
+        commits = engine.flush()
+    assert engine.telemetry.late_quarantined == 1
+    assert engine.report.reason_counts().get("late_arrival") == 1
+    assert straggler.packet_id in engine.report.quarantined
+    for commit in commits:
+        assert straggler.packet_id not in commit.arrival_times
+
+
+def test_infinite_lateness_defers_everything_to_flush():
+    packets = _stream()
+    with _engine(lateness_ms=math.inf) as engine:
+        for chunk in _chunks(packets):
+            engine.ingest(chunk)
+            assert engine.poll() == []
+        assert engine.telemetry.windows_sealed == 0
+        commits = engine.flush()
+    assert commits
+    assert engine.telemetry.late_quarantined == 0
+    kept = set()
+    for commit in commits:
+        kept.update(commit.arrival_times)
+    assert kept == {p.packet_id for p in packets}
+
+
+def test_stats_shape_matches_batch_plus_streaming_section():
+    packets = _stream()
+    with _engine() as engine:
+        engine.ingest(packets)
+        engine.flush()
+        stats = engine.stats()
+    for key in ("windows", "execution_mode", "workers", "window_span_ms",
+                "quarantined_packets", "degraded_constraints", "validation",
+                "streaming"):
+        assert key in stats, f"missing stats key {key}"
+    assert stats["execution_mode"] == "serial"
+    assert stats["workers"] == 1
+    assert stats["windows"] == engine.telemetry.windows_committed
+    streaming = stats["streaming"]
+    assert streaming["ingested"] == len(packets)
+    assert streaming["evicted_packets"] == len(packets)
+    assert streaming["seal_to_commit_max_s"] >= streaming[
+        "seal_to_commit_mean_s"] >= 0.0
+
+
+def test_parallel_engine_matches_serial_commits():
+    packets = _stream(num_sources=4, packets_per_source=30)
+
+    def run(parallel):
+        engine = _engine(parallel=parallel, max_workers=2 if parallel else None)
+        merged = {}
+        with engine:
+            for chunk in _chunks(packets):
+                engine.ingest(chunk)
+                for commit in engine.poll():
+                    merged.update(commit.estimates)
+            for commit in engine.flush():
+                merged.update(commit.estimates)
+        return merged, engine
+
+    serial_estimates, _ = run(parallel=False)
+    parallel_estimates, parallel_engine = run(parallel=True)
+    assert parallel_estimates == serial_estimates  # bit-identical floats
+    stats = parallel_engine.stats()
+    if stats.get("parallel_fallback_reason") is None:
+        assert stats["execution_mode"] == "parallel"
+
+
+def test_negative_lateness_rejected():
+    with pytest.raises(ValueError):
+        StreamingReconstructor(DomoConfig(), lateness_ms=-1.0)

@@ -1,0 +1,161 @@
+"""Regression: the streaming engine reproduces the batch pipeline exactly.
+
+``DomoReconstructor.estimate`` is now "ingest everything, then flush" on
+:class:`StreamingReconstructor`. These tests pin its output to a
+hand-built replica of the pre-refactor batch path (validate ->
+``build_window_systems`` -> ``execute_windows`` -> merge in window
+order), so any drift in grid anchoring, membership, keep assignment or
+commit order shows up as a float-level mismatch.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.pipeline import (
+    DomoConfig,
+    DomoReconstructor,
+    constraint_config_for,
+)
+from repro.core.preprocessor import build_window_systems, choose_window_span
+from repro.core.records import TraceIndex
+from repro.core.validation import validate_packets
+from repro.runtime.executor import WindowSolveSpec, execute_windows
+from repro.sim import NetworkConfig, simulate_network
+from repro.stream import StreamingReconstructor
+
+
+def _trace():
+    return simulate_network(
+        NetworkConfig(
+            num_nodes=25,
+            placement="grid",
+            duration_ms=40_000.0,
+            packet_period_ms=3_000.0,
+            seed=23,
+        )
+    )
+
+
+def _batch_reference(packets, config):
+    """The pre-refactor batch sweep, reproduced verbatim."""
+    packets, vreport = validate_packets(packets, config.validation)
+    span = (
+        config.window_span_ms
+        if config.window_span_ms is not None
+        else choose_window_span(packets, config.target_window_packets)
+    )
+    systems = build_window_systems(
+        packets,
+        constraint_config_for(config, vreport),
+        window_span_ms=span,
+        effective_ratio=config.effective_window_ratio,
+    )
+    report = execute_windows(
+        systems,
+        WindowSolveSpec(
+            fifo_mode=config.fifo_mode,
+            estimator=config.estimator,
+            sdr=config.sdr,
+        ),
+    )
+    estimates = {}
+    for result in report.results:
+        estimates.update(result.estimates)
+    index = TraceIndex(packets, omega_ms=config.omega_ms)
+    arrival_times = {}
+    for packet in index.packets:
+        times = []
+        for key in index.keys_of(packet):
+            if index.is_known(key):
+                times.append(index.known_value(key))
+            elif key in estimates:
+                times.append(estimates[key])
+            else:
+                lo, hi = index.trivial_interval(key)
+                times.append(0.5 * (lo + hi))
+        arrival_times[packet.packet_id] = times
+    return estimates, arrival_times, len(systems)
+
+
+def test_estimate_reproduces_batch_reference_bit_exactly():
+    trace = _trace()
+    config = DomoConfig()
+    ref_estimates, ref_arrivals, ref_windows = _batch_reference(
+        list(trace.received), config
+    )
+    streamed = DomoReconstructor(config).estimate(trace)
+    assert streamed.estimates == ref_estimates  # bit-identical floats
+    assert streamed.arrival_times == ref_arrivals
+    assert streamed.windows_used == ref_windows
+    assert streamed.stats["windows"] == ref_windows
+
+
+def test_chunked_flush_identical_to_single_ingest():
+    """Chunking granularity cannot matter when nothing seals early."""
+    trace = _trace()
+    packets = sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+
+    def run(chunk_size):
+        merged = {}
+        engine = StreamingReconstructor(DomoConfig(), lateness_ms=math.inf)
+        with engine:
+            for lo in range(0, len(packets), chunk_size):
+                engine.ingest(packets[lo:lo + chunk_size])
+            for commit in engine.flush():
+                merged.update(commit.estimates)
+        return merged
+
+    assert run(chunk_size=len(packets)) == run(chunk_size=7)
+
+
+def test_finite_lateness_matches_batch_when_span_pinned():
+    """With a pinned span and a lateness beyond the worst reordering,
+    incremental sealing solves the exact windows the batch planner does,
+    so even mid-stream commits are bit-identical to the batch result."""
+    trace = _trace()
+    config = DomoConfig(window_span_ms=6_000.0)
+    batch = DomoReconstructor(config).estimate(trace)
+
+    packets = sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+    merged = {}
+    engine = StreamingReconstructor(config, lateness_ms=4_000.0)
+    with engine:
+        for lo in range(0, len(packets), 16):
+            engine.ingest(packets[lo:lo + 16])
+            for commit in engine.poll():
+                merged.update(commit.estimates)
+        sealed_early = engine.telemetry.windows_sealed
+        for commit in engine.flush():
+            merged.update(commit.estimates)
+    assert sealed_early > 0, "lateness never sealed a window mid-stream"
+    assert engine.telemetry.late_quarantined == 0
+    assert merged == batch.estimates  # bit-identical floats
+
+
+def test_streaming_accuracy_equals_batch_accuracy():
+    """End to end: per-hop delay errors agree between the two paths."""
+    trace = _trace()
+    config = DomoConfig(window_span_ms=6_000.0)
+    batch = DomoReconstructor(config).estimate(trace)
+
+    packets = sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+    streamed_times = {}
+    with StreamingReconstructor(config, lateness_ms=4_000.0) as engine:
+        for lo in range(0, len(packets), 16):
+            engine.ingest(packets[lo:lo + 16])
+            for commit in engine.poll():
+                streamed_times.update(commit.arrival_times)
+        for commit in engine.flush():
+            streamed_times.update(commit.arrival_times)
+
+    batch_err, stream_err = [], []
+    for p in trace.received:
+        truth = trace.truth_of(p.packet_id).node_delays()
+        batch_err.extend(
+            abs(a - b) for a, b in zip(batch.delays_of(p.packet_id), truth)
+        )
+        times = streamed_times[p.packet_id]
+        delays = [b - a for a, b in zip(times, times[1:])]
+        stream_err.extend(abs(a - b) for a, b in zip(delays, truth))
+    assert np.mean(stream_err) == np.mean(batch_err)

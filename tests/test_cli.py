@@ -170,3 +170,51 @@ def test_faults_command_rejects_bad_rates():
         build_parser().parse_args(["faults", "--rates", "1.5"])
     with pytest.raises(SystemExit):
         build_parser().parse_args(["faults", "--rates", "abc"])
+
+
+def test_stream_command_end_to_end(capsys, tmp_path):
+    stream_path = str(tmp_path / "trace.jsonl")
+    code = main(
+        ["simulate", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2", "--save-stream", stream_path]
+    )
+    assert code == 0
+    capsys.readouterr()
+    code = main(
+        ["stream", stream_path, "--lateness-ms", "2000", "--chunk", "32"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "committed estimates" in out
+    assert "windows committed" in out
+    committed = int(
+        next(line for line in out.splitlines()
+             if line.startswith("committed estimates")).split(":")[1]
+    )
+    assert committed > 0
+
+
+def test_stream_command_reads_stdin(capsys, tmp_path, monkeypatch):
+    stream_path = tmp_path / "trace.jsonl"
+    code = main(
+        ["simulate", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2", "--save-stream", str(stream_path)]
+    )
+    assert code == 0
+    capsys.readouterr()
+    import io
+    import sys
+
+    monkeypatch.setattr(
+        sys, "stdin", io.StringIO(stream_path.read_text(encoding="utf-8"))
+    )
+    code = main(["stream", "-"])
+    assert code == 0
+    assert "committed estimates" in capsys.readouterr().out
+
+
+def test_stream_command_missing_file_exits_2(capsys, tmp_path):
+    code = main(["stream", str(tmp_path / "absent.jsonl")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "domo: error:" in err
