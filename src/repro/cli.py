@@ -282,6 +282,15 @@ def _cmd_stream(args) -> int:
                     engine.ingest(chunk)
                     consume(engine.poll())
             elif args.follow:
+                # Tailing reads whatever text appears after EOF, which is
+                # meaningless inside a gzip stream — reject up front
+                # instead of yielding UnicodeDecodeError garbage. (The
+                # non-follow path is gzip-aware via iter_packets_jsonl.)
+                if args.path.endswith(".gz"):
+                    raise ValueError(
+                        "--follow cannot tail a gzip-compressed file; "
+                        "decompress it or drop --follow"
+                    )
                 with open(args.path, "r", encoding="utf-8") as handle:
                     lines = _follow_lines(
                         handle, args.poll_interval, args.idle_timeout

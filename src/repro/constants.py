@@ -1,0 +1,9 @@
+"""Package-wide numeric constants.
+
+A leaf module — it imports nothing from :mod:`repro` — so any layer
+(core geometry, optimisation, streaming) can use the canonical ``INF``
+without coupling to another subsystem.
+"""
+
+#: canonical unbounded value for window limits and constraint bounds.
+INF = float("inf")

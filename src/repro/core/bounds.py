@@ -22,7 +22,8 @@ from repro.core.records import ArrivalKey
 from repro.graphcut.extraction import SubgraphExtractor
 from repro.graphcut.graph import ConstraintGraph
 from repro.optim.lp import LinearProgram, solve_lp
-from repro.optim.modeling import INF, ConstraintRow
+from repro.constants import INF
+from repro.optim.modeling import ConstraintRow
 
 
 @dataclass

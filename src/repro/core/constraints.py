@@ -29,7 +29,8 @@ from repro.core.intervals import (
     trivial_intervals,
 )
 from repro.core.records import ArrivalKey, TraceIndex
-from repro.optim.modeling import INF, ConstraintBuilder, VariableRegistry
+from repro.constants import INF
+from repro.optim.modeling import ConstraintBuilder, VariableRegistry
 
 
 @dataclass(frozen=True)

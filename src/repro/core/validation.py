@@ -184,9 +184,12 @@ def validate_packets(
 
     Args:
         first_t0_ms: reference start of the trace for the S(p) budget
-            check. Defaults to the minimum finite t0 in ``packets``;
-            a chunked caller (the streaming engine) passes its running
-            minimum so the budget does not depend on chunk boundaries.
+            check. Defaults to the minimum finite t0 in ``packets``.
+            A chunked caller (the streaming engine) passes its running
+            prefix-minimum; that is best-effort — a chunk validated
+            before the globally smallest t0 has arrived uses a larger
+            reference than a single-shot run over the same packets
+            would, which is unavoidable for a live stream.
     """
     config = config or ValidationConfig()
     report = ValidationReport(mode=config.mode, total_packets=len(packets))

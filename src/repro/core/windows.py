@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.optim.modeling import INF
+from repro.constants import INF
 
 
 @dataclass(frozen=True)

@@ -21,10 +21,9 @@ from typing import Hashable
 import numpy as np
 import scipy.sparse as sp
 
+from repro.constants import INF
 from repro.graphcut.graph import ConstraintGraph
 from repro.optim.lp import LinearProgram, solve_lp
-
-INF = float("inf")
 
 
 @dataclass

@@ -18,9 +18,8 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linprog
 
+from repro.constants import INF
 from repro.optim.result import SolverResult, SolverStatus
-
-INF = float("inf")
 
 
 @dataclass

@@ -14,7 +14,7 @@ from typing import Hashable, Iterable, Iterator, Mapping
 import numpy as np
 import scipy.sparse as sp
 
-INF = float("inf")
+from repro.constants import INF
 
 
 class VariableRegistry:

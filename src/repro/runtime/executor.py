@@ -316,13 +316,25 @@ class WindowExecutor:
             done, _ = wait(
                 list(self._pending), timeout=None if block else 0.0
             )
+            failure: BaseException | None = None
             for future in done:
-                payload = self._pending.pop(future)
+                # A broken pool marks every in-flight future done-and-
+                # failing at once, so pop defensively: _degrade (below)
+                # clears _pending, and a future it already re-solved must
+                # not be solved again.
+                payload = self._pending.pop(future, None)
+                if payload is None:
+                    continue
                 try:
                     self._done.append(future.result())
                 except POOL_ERRORS as exc:
                     self._done.append(_solve_entry(payload))
-                    self._degrade(exc)
+                    failure = exc
+            if failure is not None:
+                # Degrade only after the done set is drained: completed
+                # futures keep their pool results (no duplicate solves)
+                # and _degrade re-solves just the still-running remainder.
+                self._degrade(failure)
             if not block or not done:
                 break
         results = list(self._done)

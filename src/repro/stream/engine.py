@@ -52,7 +52,7 @@ from repro.core.preprocessor import (
 from repro.core.records import ArrivalKey, assemble_arrival_vector
 from repro.core.validation import ValidationReport, validate_packets
 from repro.core.windows import TimeWindow, iter_window_grid
-from repro.optim.modeling import INF
+from repro.constants import INF
 from repro.runtime.executor import WindowExecutor, WindowResult, WindowSolveSpec
 from repro.runtime.telemetry import WindowTelemetry, summarize_telemetry
 from repro.sim.packet import PacketId
@@ -214,9 +214,13 @@ class StreamingReconstructor:
             # length when the caller didn't fill it in.
             self.report.total_packets += report.total_packets or len(packets)
         elif self.config.validation.mode != "off":
-            # The S(p) budget check needs a stable trace-start reference:
-            # track the running minimum t0 so which sums get distrusted
-            # does not depend on where the chunk boundaries fall.
+            # The S(p) budget check needs a trace-start reference. Online
+            # that is inherently a best-effort prefix minimum: packets in
+            # a chunk are judged against the smallest t0 seen *so far*, so
+            # if the globally smallest t0 arrives in a later chunk, earlier
+            # chunks were validated against a larger reference than a
+            # single-shot run would use. Once the true minimum has been
+            # seen the reference matches the batch pipeline exactly.
             self._min_t0_ms = min(
                 self._min_t0_ms,
                 min(

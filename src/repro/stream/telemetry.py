@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.optim.modeling import INF
+from repro.constants import INF
 
 
 @dataclass

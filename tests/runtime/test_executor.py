@@ -225,6 +225,73 @@ def test_window_executor_serial_submit_drain():
         executor.close()
 
 
+def test_pool_crash_with_multiple_pending_windows_degrades_cleanly():
+    """A broken pool fails every in-flight future at once; drain must
+    re-solve each window exactly once serially instead of raising the
+    KeyError the old pop-then-degrade sequence hit."""
+    from concurrent.futures import Future
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.runtime.executor import WindowExecutor
+
+    systems = _systems()
+    assert len(systems) >= 2
+    serial = execute_windows(systems, WindowSolveSpec())
+    executor = WindowExecutor(WindowSolveSpec(), parallel=True, max_workers=2)
+    try:
+        # Stage the crash directly: every submitted window in flight,
+        # every future already failed — exactly what BrokenProcessPool
+        # does to the pending map when a worker dies.
+        for index, ws in enumerate(systems):
+            future = Future()
+            future.set_exception(BrokenProcessPool("worker died"))
+            executor._pending[future] = (index, ws, executor.spec)
+        results = executor.drain(block=True)
+    finally:
+        executor.close()
+    assert executor.mode == "serial"
+    assert "BrokenProcessPool" in (executor.fallback_reason or "")
+    assert executor.in_flight == 0
+    # No window lost, none solved twice.
+    results.sort(key=lambda r: r.window_index)
+    assert [r.window_index for r in results] == list(range(len(systems)))
+    for left, right in zip(results, serial.results):
+        assert left.estimates == right.estimates  # bit-identical floats
+
+
+def test_pool_crash_keeps_already_completed_results():
+    """Futures that finished before the crash keep their pool results;
+    only failed/running windows are re-solved."""
+    from concurrent.futures import Future
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.runtime.executor import (
+        WindowExecutor,
+        solve_one_window,
+    )
+
+    systems = _systems()
+    assert len(systems) >= 2
+    executor = WindowExecutor(WindowSolveSpec(), parallel=True, max_workers=2)
+    try:
+        done_result = solve_one_window(0, systems[0], executor.spec)
+        ok = Future()
+        ok.set_result(done_result)
+        executor._pending[ok] = (0, systems[0], executor.spec)
+        for index, ws in enumerate(systems[1:], start=1):
+            future = Future()
+            future.set_exception(BrokenProcessPool("worker died"))
+            executor._pending[future] = (index, ws, executor.spec)
+        results = executor.drain(block=True)
+    finally:
+        executor.close()
+    assert executor.mode == "serial"
+    results.sort(key=lambda r: r.window_index)
+    assert [r.window_index for r in results] == list(range(len(systems)))
+    # The completed future's object came through untouched.
+    assert any(r is done_result for r in results)
+
+
 def test_window_executor_incremental_parallel_drain():
     """Streaming-style use: submit one at a time, drain non-blocking,
     block only at the end; results match a serial sweep exactly."""

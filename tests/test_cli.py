@@ -218,3 +218,19 @@ def test_stream_command_missing_file_exits_2(capsys, tmp_path):
     assert code == 2
     err = capsys.readouterr().err
     assert "domo: error:" in err
+
+
+def test_stream_follow_rejects_gzip_paths(capsys, tmp_path):
+    """Tailing a gzip file is ill-defined — one-line error, not garbage."""
+    import gzip
+
+    path = tmp_path / "trace.jsonl.gz"
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write("")
+    code = main(["stream", str(path), "--follow", "--idle-timeout", "0"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "domo: error:" in err
+    assert "--follow" in err and "gzip" in err
+    # The same gzip file is fine without --follow.
+    assert main(["stream", str(path)]) == 0
