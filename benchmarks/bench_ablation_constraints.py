@@ -73,9 +73,16 @@ def test_ablation_constraint_families(benchmark, fig6_trace):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace()
     print(f"trace: {trace.num_received} packets\n")
-    print(format_sweep_table(["variant", "err_ms"], _sweep(trace)))
+    with BenchHarness(
+        "ablation_constraints", config={"packets": trace.num_received}
+    ) as bench:
+        rows = _sweep(trace)
+        bench.record(errors_ms={name: err for name, err in rows})
+    print(format_sweep_table(["variant", "err_ms"], rows))
 
 
 if __name__ == "__main__":

@@ -58,12 +58,20 @@ def test_ablation_fifo_modes(benchmark):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace(
         num_nodes=ABLATION_NODES, duration_ms=ABLATION_DURATION_MS
     )
     print(f"trace: {trace.num_received} packets\n")
+    with BenchHarness(
+        "ablation_fifo",
+        config={"nodes": ABLATION_NODES, "packets": trace.num_received},
+    ) as bench:
+        rows = _sweep(trace)
+        bench.record(errors_ms={mode: err for mode, err, _ in rows})
     print(format_sweep_table(
-        ["fifo_mode", "err_ms", "ms_per_delay"], _sweep(trace)
+        ["fifo_mode", "err_ms", "ms_per_delay"], rows
     ))
 
 

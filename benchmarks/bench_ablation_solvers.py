@@ -123,14 +123,20 @@ def test_simplex_matches_highs_on_bound_lps(benchmark, fig6_trace):
 
 
 def main() -> None:
+    import time
+
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace()
     system = _window_system(trace, max_packets=40)
     problem, mid = _qp_from_system(system)
-    import time
-
-    started = time.perf_counter()
-    ours = solve_qp(problem, x0=mid)
-    admm_s = time.perf_counter() - started
+    with BenchHarness(
+        "ablation_solvers", config={"unknowns": problem.num_variables}
+    ) as bench:
+        started = time.perf_counter()
+        ours = solve_qp(problem, x0=mid)
+        admm_s = time.perf_counter() - started
+        bench.record(objective=float(ours.objective), seconds=admm_s)
     print(format_sweep_table(
         ["solver", "objective", "seconds"],
         [["admm_qp", ours.objective, admm_s]],

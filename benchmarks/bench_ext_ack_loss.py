@@ -57,9 +57,18 @@ def test_ext_ack_loss(benchmark):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
+    with BenchHarness(
+        "ext_ack_loss", config={"rates": list(ACK_LOSS_RATES)}
+    ) as bench:
+        rows = _ack_loss_sweep()
+        bench.record(
+            domo_err_ms={str(r[0]): r[2] for r in rows},
+            duplicates={str(r[0]): r[1] for r in rows},
+        )
     print(format_sweep_table(
-        ["ack_loss", "duplicates", "domo_err_ms", "mnt_err_ms"],
-        _ack_loss_sweep(),
+        ["ack_loss", "duplicates", "domo_err_ms", "mnt_err_ms"], rows
     ))
 
 

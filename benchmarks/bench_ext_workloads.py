@@ -60,9 +60,16 @@ def test_ext_workload_sensitivity(benchmark):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
+    with BenchHarness(
+        "ext_workloads",
+        config={"workloads": [name for name, _ in WORKLOADS]},
+    ) as bench:
+        rows = _workload_sweep()
+        bench.record(domo_err_ms={r[0]: r[2] for r in rows})
     print(format_sweep_table(
-        ["workload", "packets", "domo_err_ms", "mnt_err_ms"],
-        _workload_sweep(),
+        ["workload", "packets", "domo_err_ms", "mnt_err_ms"], rows
     ))
 
 

@@ -46,10 +46,17 @@ def test_fig10_graph_cut(benchmark, fig6_trace):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace()
     print(f"trace: {trace.num_received} packets\n")
+    with BenchHarness(
+        "fig10_graph_cut", config={"cuts": list(FIG10_CUTS)}
+    ) as bench:
+        rows = _cut_sweep(trace)
+        bench.record(bound_widths_ms={str(r[0]): r[1] for r in rows})
     print(format_sweep_table(
-        ["cut_size", "domo_bound_ms", "ms_per_bound"], _cut_sweep(trace)
+        ["cut_size", "domo_bound_ms", "ms_per_bound"], rows
     ))
 
 

@@ -87,10 +87,27 @@ def test_fig6c_displacement(benchmark, fig6_trace):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace()
     print(f"trace: {trace.num_received} packets\n")
 
-    accuracy = evaluate_accuracy(trace)
+    with BenchHarness(
+        "fig6_accuracy", config={"packets": trace.num_received}
+    ) as bench:
+        accuracy = evaluate_accuracy(trace)
+        bounds = evaluate_bounds(trace, max_packets=BOUND_SAMPLE,
+                                 domo_config=default_domo_config())
+        displacement = evaluate_displacement(trace)
+        bench.record(
+            domo_err_ms=accuracy.domo.mean,
+            mnt_err_ms=accuracy.mnt.mean,
+            domo_bound_ms=bounds.domo.mean,
+            mnt_bound_ms=bounds.mnt.mean,
+            domo_displacement=displacement.domo.mean,
+            tracing_displacement=displacement.message_tracing.mean,
+        )
+
     print(format_stats_table(
         [("Domo", accuracy.domo), ("MNT", accuracy.mnt)],
         value_label="Fig. 6(a) estimation error (ms)",
@@ -103,15 +120,12 @@ def main() -> None:
         true_avg, domo_avg, mnt_avg = accuracy.per_node_average_delay[node]
         print(f"{node:>6}{true_avg:>10.2f}{domo_avg:>10.2f}{mnt_avg:>10.2f}")
 
-    bounds = evaluate_bounds(trace, max_packets=BOUND_SAMPLE,
-                             domo_config=default_domo_config())
     print()
     print(format_stats_table(
         [("Domo", bounds.domo), ("MNT", bounds.mnt)],
         value_label="Fig. 6(b) delay bound width (ms)",
     ))
 
-    displacement = evaluate_displacement(trace)
     print()
     print(format_stats_table(
         [

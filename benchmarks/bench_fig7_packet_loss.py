@@ -95,23 +95,34 @@ def test_fig7c_displacement_under_loss(benchmark, fig6_trace):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace()
     print(f"trace: {trace.num_received} packets\n")
+    with BenchHarness(
+        "fig7_packet_loss", config={"rates": list(LOSS_RATES)}
+    ) as bench:
+        error_rows = _error_sweep(trace)
+        bound_rows = []
+        disp_rows = []
+        for rate in LOSS_RATES:
+            lossy = _lossy(trace, rate)
+            bounds = evaluate_bounds(lossy, max_packets=BOUND_SAMPLE,
+                                     domo_config=default_domo_config())
+            displacement = evaluate_displacement(lossy)
+            bound_rows.append([rate, bounds.domo.mean, bounds.mnt.mean])
+            disp_rows.append(
+                [rate, displacement.domo.mean,
+                 displacement.message_tracing.mean]
+            )
+        bench.record(
+            domo_err_ms={str(r[0]): r[1] for r in error_rows},
+            domo_bound_ms={str(r[0]): r[1] for r in bound_rows},
+        )
     print(format_sweep_table(
-        ["loss_rate", "domo_err_ms", "mnt_err_ms"], _error_sweep(trace)
+        ["loss_rate", "domo_err_ms", "mnt_err_ms"], error_rows
     ))
     print()
-    bound_rows = []
-    disp_rows = []
-    for rate in LOSS_RATES:
-        lossy = _lossy(trace, rate)
-        bounds = evaluate_bounds(lossy, max_packets=BOUND_SAMPLE,
-                                 domo_config=default_domo_config())
-        displacement = evaluate_displacement(lossy)
-        bound_rows.append([rate, bounds.domo.mean, bounds.mnt.mean])
-        disp_rows.append(
-            [rate, displacement.domo.mean, displacement.message_tracing.mean]
-        )
     print(format_sweep_table(
         ["loss_rate", "domo_bound_ms", "mnt_bound_ms"], bound_rows
     ))

@@ -87,19 +87,30 @@ def test_fig8c_displacement_vs_scale(benchmark):
 
 
 def main() -> None:
-    rows_a, rows_b, rows_c = [], [], []
-    for size in FIG8_SIZES:
-        trace = simulated_trace(num_nodes=size)
-        accuracy = evaluate_accuracy(trace)
-        bounds = evaluate_bounds(trace, max_packets=BOUND_SAMPLE,
-                                 domo_config=default_domo_config())
-        displacement = evaluate_displacement(trace)
-        rows_a.append(
-            [size, trace.num_received, accuracy.domo.mean, accuracy.mnt.mean]
-        )
-        rows_b.append([size, bounds.domo.mean, bounds.mnt.mean])
-        rows_c.append(
-            [size, displacement.domo.mean, displacement.message_tracing.mean]
+    from benchmarks.harness import BenchHarness
+
+    with BenchHarness(
+        "fig8_network_scale", config={"sizes": list(FIG8_SIZES)}
+    ) as bench:
+        rows_a, rows_b, rows_c = [], [], []
+        for size in FIG8_SIZES:
+            trace = simulated_trace(num_nodes=size)
+            accuracy = evaluate_accuracy(trace)
+            bounds = evaluate_bounds(trace, max_packets=BOUND_SAMPLE,
+                                     domo_config=default_domo_config())
+            displacement = evaluate_displacement(trace)
+            rows_a.append(
+                [size, trace.num_received, accuracy.domo.mean,
+                 accuracy.mnt.mean]
+            )
+            rows_b.append([size, bounds.domo.mean, bounds.mnt.mean])
+            rows_c.append(
+                [size, displacement.domo.mean,
+                 displacement.message_tracing.mean]
+            )
+        bench.record(
+            domo_err_ms={str(r[0]): r[2] for r in rows_a},
+            domo_bound_ms={str(r[0]): r[1] for r in rows_b},
         )
     print(format_sweep_table(
         ["nodes", "packets", "domo_err_ms", "mnt_err_ms"], rows_a

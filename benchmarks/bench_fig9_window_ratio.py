@@ -43,10 +43,17 @@ def test_fig9_window_ratio(benchmark, fig6_trace):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace()
     print(f"trace: {trace.num_received} packets\n")
+    with BenchHarness(
+        "fig9_window_ratio", config={"ratios": list(RATIOS)}
+    ) as bench:
+        rows = _ratio_sweep(trace)
+        bench.record(domo_err_ms={str(r[0]): r[1] for r in rows})
     print(format_sweep_table(
-        ["ratio", "domo_err_ms", "ms_per_delay"], _ratio_sweep(trace)
+        ["ratio", "domo_err_ms", "ms_per_delay"], rows
     ))
 
 

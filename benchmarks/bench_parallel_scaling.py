@@ -35,8 +35,12 @@ def _estimate(trace, workers: int):
     return result, time.perf_counter() - started
 
 
-def _scaling_sweep(trace, worker_counts):
+def _scaling_sweep(trace, worker_counts, out=None):
     baseline, base_seconds = _estimate(trace, workers=1)
+    if out is not None:
+        # Deterministic outputs the perf-gate baseline pins exactly.
+        out["num_estimates"] = baseline.num_estimated
+        out["windows_used"] = baseline.windows_used
     rows = [[1, base_seconds, 1.0, baseline.stats["execution_mode"]]]
     for workers in worker_counts:
         result, seconds = _estimate(trace, workers=workers)
@@ -71,12 +75,22 @@ def test_parallel_scaling(benchmark):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace(
         num_nodes=SCALE_NODES, duration_ms=SCALE_DURATION_MS
     )
     cores = os.cpu_count() or 1
     print(f"trace: {trace.num_received} packets, {cores} cores\n")
-    rows = _scaling_sweep(trace, sorted({2, cores} - {1}))
+    with BenchHarness(
+        "parallel_scaling",
+        config={"nodes": SCALE_NODES, "cores": cores,
+                "packets": trace.num_received},
+    ) as bench:
+        parity: dict = {}
+        rows = _scaling_sweep(trace, sorted({2, cores} - {1}), out=parity)
+        best = max((r[2] for r in rows[1:]), default=1.0)
+        bench.record(best_speedup=best, **parity)
     print(format_sweep_table(["workers", "seconds", "speedup", "mode"], rows))
     print("\nparallel estimates identical to serial: OK")
 

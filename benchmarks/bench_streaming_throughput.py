@@ -46,7 +46,7 @@ def _stream_run(arrivals, lateness_ms: float):
     return telemetry, len(arrivals) / elapsed, num_estimates
 
 
-def _throughput_sweep(trace):
+def _throughput_sweep(trace, out=None):
     arrivals = sorted(trace.received, key=lambda p: p.sink_arrival_ms)
 
     started = time.perf_counter()
@@ -55,12 +55,19 @@ def _throughput_sweep(trace):
     )
     batch_rate = len(arrivals) / (time.perf_counter() - started)
 
+    if out is not None:
+        # Deterministic outputs the perf-gate baseline pins exactly.
+        out["num_estimates"] = batch.num_estimated
+        out["packets"] = len(arrivals)
     rows = [
         ["batch flush", f"{batch_rate:.0f}", len(arrivals), "-",
          batch.num_estimated],
     ]
     for lateness in (LATENESS_MS, 2 * LATENESS_MS):
         telemetry, rate, estimates = _stream_run(arrivals, lateness)
+        if out is not None and lateness == LATENESS_MS:
+            out["windows_committed"] = telemetry.windows_committed
+            out["stream_rate_pps"] = rate
         rows.append([
             f"stream {lateness / 1e3:.0f}s late",
             f"{rate:.0f}",
@@ -100,11 +107,20 @@ def test_streaming_throughput(benchmark):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace(
         num_nodes=STREAM_NODES, duration_ms=STREAM_DURATION_MS
     )
     print(f"trace: {trace.num_received} packets\n")
-    rows = _throughput_sweep(trace)
+    with BenchHarness(
+        "streaming_throughput",
+        config={"nodes": STREAM_NODES, "span_ms": SPAN_MS,
+                "chunk": CHUNK_SIZE, "lateness_ms": LATENESS_MS},
+    ) as bench:
+        parity: dict = {}
+        rows = _throughput_sweep(trace, out=parity)
+        bench.record(**parity)
     print(format_sweep_table(
         ["run", "packets/s", "peak resident", "peak backlog", "estimates"],
         rows,

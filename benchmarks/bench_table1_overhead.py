@@ -93,10 +93,21 @@ def test_table1_overhead(benchmark, fig6_trace):
 
 
 def main() -> None:
+    from benchmarks.harness import BenchHarness
+
     trace = simulated_trace()
     print(f"trace: {trace.num_received} packets\n")
+    with BenchHarness(
+        "table1_overhead", config={"packets": trace.num_received}
+    ) as bench:
+        rows = build_table(trace)
+        bench.record(
+            domo_message_bytes=rows[0][1],
+            domo_pc_ms_per_packet=rows[2][1],
+            domo_node_memory_bytes=rows[3][1],
+        )
     print(format_sweep_table(
-        ["overhead", "Domo", "MNT", "MsgTracing"], build_table(trace)
+        ["overhead", "Domo", "MNT", "MsgTracing"], rows
     ))
 
 

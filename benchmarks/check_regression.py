@@ -1,0 +1,163 @@
+"""Perf-gate: compare BENCH_*.json reports against checked-in baselines.
+
+Each baseline in ``benchmarks/baselines/<name>.json`` pins
+
+* ``wall_time_s`` — the reference wall time of the bench body (the root
+  ``run`` span of its ``domo.run_report/1`` report). The gate fails when
+  the current run is slower than ``baseline * (1 + tolerance)``.
+* ``tolerance`` — allowed fractional slowdown. The default 0.30 (30%)
+  absorbs runner-to-runner jitter on shared CI hardware while still
+  catching the 2x-style regressions the gate exists for; override per
+  run with ``$PERF_GATE_TOLERANCE`` (e.g. after a runner change).
+* ``parity`` — deterministic output counts (committed estimates,
+  windows) from the seeded trace. These must match *exactly*: any drift
+  means reconstruction behavior changed, not just speed.
+
+Usage::
+
+    python -m benchmarks.check_regression BENCH_parallel_scaling.json ...
+    python -m benchmarks.check_regression --update BENCH_*.json   # re-pin
+
+Exit codes: 0 pass, 1 regression/parity failure, 2 operational error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+BASELINE_SCHEMA = "domo.bench_baseline/1"
+DEFAULT_TOLERANCE = 0.30
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def bench_name(report: dict) -> str:
+    command = report.get("command", "")
+    if not command.startswith("bench:"):
+        raise ValueError(
+            f"not a bench report (command={command!r}); expected the "
+            "BENCH_*.json written by benchmarks.harness"
+        )
+    return command[len("bench:"):]
+
+
+def baseline_path(name: str) -> str:
+    return os.path.join(BASELINE_DIR, f"{name}.json")
+
+
+def check_report(report: dict, baseline: dict,
+                 tolerance: float | None = None) -> list[str]:
+    """All gate violations of one report against its baseline."""
+    problems: list[str] = []
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    base_wall = float(baseline.get("wall_time_s", 0.0))
+    wall = float(report.get("wall_time_s", 0.0))
+    limit = base_wall * (1.0 + tolerance)
+    if base_wall > 0.0 and wall > limit:
+        problems.append(
+            f"wall time regression: {wall:.3f}s vs baseline "
+            f"{base_wall:.3f}s (+{100 * (wall / base_wall - 1):.0f}%, "
+            f"allowed +{100 * tolerance:.0f}%)"
+        )
+    stats = report.get("stats", {})
+    for key, expected in baseline.get("parity", {}).items():
+        actual = stats.get(key)
+        if actual != expected:
+            problems.append(
+                f"parity break: stats[{key!r}] = {actual!r}, "
+                f"baseline pinned {expected!r}"
+            )
+    return problems
+
+
+def make_baseline(report: dict, parity_keys: list[str],
+                  tolerance: float = DEFAULT_TOLERANCE) -> dict:
+    stats = report.get("stats", {})
+    return {
+        "schema": BASELINE_SCHEMA,
+        "bench": bench_name(report),
+        "wall_time_s": report.get("wall_time_s", 0.0),
+        "tolerance": tolerance,
+        "parity": {key: stats.get(key) for key in parity_keys},
+        "notes": (
+            "wall_time_s is the reference duration of the bench body; "
+            "the gate fails above wall_time_s * (1 + tolerance). parity "
+            "values are deterministic seeded outputs and must match "
+            "exactly. Re-pin with: python -m benchmarks.check_regression "
+            "--update BENCH_<bench>.json"
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare bench reports against checked-in baselines"
+    )
+    parser.add_argument("reports", nargs="+",
+                        help="BENCH_*.json files written by the harness")
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite each baseline from the given report instead of "
+             "checking (keeps the existing parity keys and tolerance)")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=os.environ.get("PERF_GATE_TOLERANCE"),
+        help="override the baseline's wall-time tolerance "
+             "(also via $PERF_GATE_TOLERANCE)")
+    args = parser.parse_args(argv)
+    tolerance = None if args.tolerance is None else float(args.tolerance)
+
+    failed = False
+    for path in args.reports:
+        try:
+            report = _load(path)
+            name = bench_name(report)
+        except (OSError, ValueError) as exc:
+            print(f"check_regression: error: {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        base_path = baseline_path(name)
+        if args.update:
+            try:
+                previous = _load(base_path)
+                parity_keys = list(previous.get("parity", {}))
+                tol = float(previous.get("tolerance", DEFAULT_TOLERANCE))
+            except OSError:
+                parity_keys = sorted(report.get("stats", {}))
+                tol = DEFAULT_TOLERANCE
+            os.makedirs(BASELINE_DIR, exist_ok=True)
+            with open(base_path, "w", encoding="utf-8") as handle:
+                json.dump(make_baseline(report, parity_keys, tol),
+                          handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"{name}: baseline updated -> {base_path}")
+            continue
+        try:
+            baseline = _load(base_path)
+        except OSError as exc:
+            print(f"check_regression: error: no baseline for {name!r}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        problems = check_report(report, baseline, tolerance)
+        if problems:
+            failed = True
+            print(f"{name}: FAIL")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            wall = report.get("wall_time_s", 0.0)
+            print(f"{name}: ok (wall {wall:.3f}s vs baseline "
+                  f"{baseline.get('wall_time_s', 0.0):.3f}s)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

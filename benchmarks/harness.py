@@ -1,0 +1,82 @@
+"""Shared benchmark harness: every ``bench_*.py`` emits a machine report.
+
+Wrapping a benchmark ``main()`` body in :class:`BenchHarness` gives it
+
+* an isolated :class:`~repro.obs.registry.MetricsRegistry` plus a root
+  ``run`` span, so solver/executor/stream instrumentation recorded during
+  the run lands in the report instead of the process-default registry;
+* a ``BENCH_<name>.json`` file in ``$BENCH_OUT_DIR`` (or the working
+  directory) using the canonical ``domo.run_report/1`` schema with
+  ``command = "bench:<name>"`` — the artifact the perf-gate CI job
+  uploads and feeds to :mod:`benchmarks.check_regression`.
+
+Headline numbers a gate should compare (estimate counts, throughput)
+are recorded explicitly via :meth:`BenchHarness.record` and appear under
+the report's ``stats`` key.
+
+Usage::
+
+    def main() -> None:
+        with BenchHarness("parallel_scaling", config={...}) as bench:
+            rows = run_the_sweep()
+            bench.record(num_estimates=..., windows_used=...)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.registry import isolated_registry
+from repro.obs.report import RunReport, build_run_report, write_run_report
+from repro.obs.spans import span
+
+
+def bench_out_dir() -> str:
+    """Directory BENCH_*.json files land in (``$BENCH_OUT_DIR`` or cwd)."""
+    return os.environ.get("BENCH_OUT_DIR") or os.getcwd()
+
+
+def bench_report_path(name: str) -> str:
+    return os.path.join(bench_out_dir(), f"BENCH_{name}.json")
+
+
+class BenchHarness:
+    """Context manager timing one benchmark run into a RunReport JSON."""
+
+    def __init__(self, name: str, config: dict | None = None) -> None:
+        self.name = name
+        self.config = dict(config or {})
+        self.stats: dict = {}
+        self.path: str | None = None
+        self.report: RunReport | None = None
+        self._scope = None
+        self._span = None
+        self.registry = None
+
+    def record(self, **values) -> None:
+        """Attach headline/parity numbers to the report's ``stats``."""
+        self.stats.update(values)
+
+    def __enter__(self) -> "BenchHarness":
+        self._scope = isolated_registry()
+        self.registry = self._scope.__enter__()
+        self._span = span("run")
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.__exit__(exc_type, exc, tb)
+        try:
+            if exc_type is None:
+                self.report = build_run_report(
+                    f"bench:{self.name}",
+                    config=self.config,
+                    stats=self.stats,
+                    registry=self.registry,
+                )
+                self.path = bench_report_path(self.name)
+                write_run_report(self.path, self.report)
+                print(f"\nbench report: {self.path}")
+        finally:
+            self._scope.__exit__(exc_type, exc, tb)
+        return False

@@ -33,6 +33,7 @@ from repro.analysis.experiments import (
 from repro.analysis.scenarios import paper_scenario
 from repro.analysis.tables import format_stats_table
 from repro.core.pipeline import DomoConfig, DomoReconstructor
+from repro.obs.spans import span
 from repro.sim import simulate_network
 
 
@@ -135,27 +136,80 @@ def _domo_config(args) -> DomoConfig:
     )
 
 
+def _cli_config(args) -> dict:
+    """The parsed arguments as a plain dict, for the RunReport config."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key != "handler"
+    }
+
+
+def _run_with_metrics(args, command: str, body) -> int:
+    """Run a command body, honoring ``--metrics-out``.
+
+    ``body`` returns ``(exit_code, stats_dict)``. Without --metrics-out it
+    just runs (its spans land in the process-default registry and are
+    discarded). With it, the body runs under an isolated registry and a
+    root ``run`` span, and a ``domo.run_report/1`` JSON is written.
+    """
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        code, _ = body()
+        return code
+    from repro.obs.registry import isolated_registry
+    from repro.obs.report import build_run_report, write_run_report
+
+    with isolated_registry() as registry:
+        with span("run"):
+            code, stats = body()
+        report = build_run_report(
+            command,
+            argv=list(sys.argv[1:]),
+            config=_cli_config(args),
+            stats=stats,
+            registry=registry,
+        )
+    write_run_report(metrics_out, report)
+    print(f"metrics report        : {metrics_out}", file=sys.stderr)
+    return code
+
+
 def _cmd_estimate(args) -> int:
     from repro.runtime.telemetry import format_telemetry_report
 
-    trace = _obtain_trace(args)
-    domo = DomoReconstructor(_domo_config(args))
-    estimate = domo.estimate(trace)
-    errors = []
-    for p in trace.received:
-        truth = trace.truth_of(p.packet_id).node_delays()
-        errors.extend(
-            abs(a - b) for a, b in zip(estimate.delays_of(p.packet_id), truth)
+    def body() -> tuple[int, dict]:
+        with span("setup"):
+            trace = _obtain_trace(args)
+        domo = DomoReconstructor(_domo_config(args))
+        with span("estimate"):
+            estimate = domo.estimate(trace)
+        with span("score"):
+            errors = []
+            for p in trace.received:
+                truth = trace.truth_of(p.packet_id).node_delays()
+                errors.extend(
+                    abs(a - b)
+                    for a, b in zip(estimate.delays_of(p.packet_id), truth)
+                )
+        print(f"reconstructed delays : {len(errors)}")
+        print(f"mean error           : {np.mean(errors):.3f} ms")
+        print(f"fraction < 4 ms      : {np.mean(np.asarray(errors) < 4):.2f}")
+        print(f"time per delay       : {estimate.time_per_delay_ms:.2f} ms")
+        if args.solver_stats:
+            print()
+            print("solver telemetry")
+            print(format_telemetry_report(estimate.stats))
+        stats = dict(estimate.stats)
+        stats.update(
+            reconstructed_delays=len(errors),
+            mean_error_ms=float(np.mean(errors)) if errors else 0.0,
+            windows_used=estimate.windows_used,
+            solve_time_s=estimate.solve_time_s,
         )
-    print(f"reconstructed delays : {len(errors)}")
-    print(f"mean error           : {np.mean(errors):.3f} ms")
-    print(f"fraction < 4 ms      : {np.mean(np.asarray(errors) < 4):.2f}")
-    print(f"time per delay       : {estimate.time_per_delay_ms:.2f} ms")
-    if args.solver_stats:
-        print()
-        print("solver telemetry")
-        print(format_telemetry_report(estimate.stats))
-    return 0
+        return 0, stats
+
+    return _run_with_metrics(args, "estimate", body)
 
 
 def _cmd_compare(args) -> int:
@@ -185,11 +239,40 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.metrics_json:
+        return _cmd_report_metrics(args)
     from repro.analysis.report import generate_report
 
     trace = _obtain_trace(args)
     print(generate_report(trace))
     return 0
+
+
+def _cmd_report_metrics(args) -> int:
+    """Pretty-print (and optionally gate) a ``--metrics-out`` JSON file."""
+    import json
+
+    from repro.obs.report import format_run_report, validate_report
+
+    with open(args.metrics_json, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    problems = validate_report(data)
+    print(format_run_report(data))
+    for problem in problems:
+        print(f"schema problem: {problem}", file=sys.stderr)
+    if args.check is not None:
+        coverage = data.get("span_coverage")
+        covered = isinstance(coverage, (int, float)) and coverage >= args.check
+        if problems or not covered:
+            print(
+                f"check failed: coverage={coverage} "
+                f"(threshold {args.check}), {len(problems)} schema "
+                f"problem(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check passed: coverage={coverage:.4f}", file=sys.stderr)
+    return 0 if not problems else 1
 
 
 def _parse_rates(text: str) -> tuple[float, ...]:
@@ -214,22 +297,34 @@ def _cmd_faults(args) -> int:
         run_campaign,
     )
 
-    trace = _obtain_trace(args)
-    if args.kinds:
-        injectors = [
-            make_injector(kind.strip()) for kind in args.kinds.split(",")
-        ]
-    else:
-        injectors = list(DEFAULT_INJECTORS)
-    result = run_campaign(
-        trace,
-        injectors=injectors,
-        rates=args.rates,
-        seed=args.seed,
-        config=_domo_config(args),
-    )
-    print(format_campaign_table(result))
-    return 0 if result.clean else 1
+    def body() -> tuple[int, dict]:
+        with span("setup"):
+            trace = _obtain_trace(args)
+        if args.kinds:
+            injectors = [
+                make_injector(kind.strip()) for kind in args.kinds.split(",")
+            ]
+        else:
+            injectors = list(DEFAULT_INJECTORS)
+        with span("campaign"):
+            result = run_campaign(
+                trace,
+                injectors=injectors,
+                rates=args.rates,
+                seed=args.seed,
+                config=_domo_config(args),
+            )
+        print(format_campaign_table(result))
+        stats = {
+            "cells": len(result.cells),
+            "failures": len(result.failures),
+            "undetected": len(result.undetected()),
+            "baseline_error_ms": result.baseline_error_ms,
+            "rates": list(args.rates),
+        }
+        return (0 if result.clean else 1), stats
+
+    return _run_with_metrics(args, "faults", body)
 
 
 def _follow_lines(handle, poll_interval: float, idle_timeout: float):
@@ -249,6 +344,22 @@ def _follow_lines(handle, poll_interval: float, idle_timeout: float):
         idle += poll_interval
 
 
+def _read_chunks(chunks):
+    """Pull chunks one at a time, charging read/parse time to a span.
+
+    The explicit ``next()`` keeps the file I/O and JSON decoding of each
+    chunk inside ``span("read")`` while the downstream ingest/poll work
+    is charged to the engine's own spans.
+    """
+    iterator = iter(chunks)
+    while True:
+        with span("read"):
+            chunk = next(iterator, None)
+        if chunk is None:
+            return
+        yield chunk
+
+
 def _cmd_stream(args) -> int:
     from dataclasses import replace
 
@@ -258,59 +369,81 @@ def _cmd_stream(args) -> int:
     config = _domo_config(args)
     if args.window_span_ms is not None:
         config = replace(config, window_span_ms=args.window_span_ms)
-    committed_windows = 0
-    committed_estimates = 0
 
-    def consume(batch) -> None:
-        nonlocal committed_windows, committed_estimates
-        for cw in batch:
-            committed_windows += 1
-            committed_estimates += cw.num_estimates
-            if args.verbose:
-                print(
-                    f"window {cw.solve_index:4d} committed: "
-                    f"{cw.num_estimates} estimates, "
-                    f"seal->commit {1e3 * cw.seal_to_commit_s:.1f} ms",
-                    file=sys.stderr,
-                )
+    def body() -> tuple[int, dict]:
+        committed_windows = 0
+        committed_estimates = 0
 
-    with StreamingReconstructor(config, lateness_ms=args.lateness_ms) as engine:
-        try:
-            if args.path == "-":
-                chunks = read_packets_jsonl_chunks(sys.stdin, args.chunk)
-                for chunk in chunks:
-                    engine.ingest(chunk)
-                    consume(engine.poll())
-            elif args.follow:
-                # Tailing reads whatever text appears after EOF, which is
-                # meaningless inside a gzip stream — reject up front
-                # instead of yielding UnicodeDecodeError garbage. (The
-                # non-follow path is gzip-aware via iter_packets_jsonl.)
-                if args.path.endswith(".gz"):
-                    raise ValueError(
-                        "--follow cannot tail a gzip-compressed file; "
-                        "decompress it or drop --follow"
+        def consume(batch) -> None:
+            nonlocal committed_windows, committed_estimates
+            for cw in batch:
+                committed_windows += 1
+                committed_estimates += cw.num_estimates
+                if args.verbose:
+                    print(
+                        f"window {cw.solve_index:4d} committed: "
+                        f"{cw.num_estimates} estimates, "
+                        f"seal->commit {1e3 * cw.seal_to_commit_s:.1f} ms",
+                        file=sys.stderr,
                     )
-                with open(args.path, "r", encoding="utf-8") as handle:
-                    lines = _follow_lines(
-                        handle, args.poll_interval, args.idle_timeout
-                    )
-                    for chunk in read_packets_jsonl_chunks(lines, args.chunk):
+
+        with StreamingReconstructor(
+            config, lateness_ms=args.lateness_ms
+        ) as engine:
+            try:
+                if args.path == "-":
+                    chunks = read_packets_jsonl_chunks(sys.stdin, args.chunk)
+                    for chunk in _read_chunks(chunks):
                         engine.ingest(chunk)
                         consume(engine.poll())
-            else:
-                for chunk in read_packets_jsonl_chunks(args.path, args.chunk):
-                    engine.ingest(chunk)
-                    consume(engine.poll())
-        except KeyboardInterrupt:
-            print("interrupted: flushing open windows", file=sys.stderr)
-        consume(engine.flush())
-        telemetry = engine.telemetry
+                elif args.follow:
+                    # Tailing reads whatever text appears after EOF, which
+                    # is meaningless inside a gzip stream — reject up front
+                    # instead of yielding UnicodeDecodeError garbage. (The
+                    # non-follow path is gzip-aware via iter_packets_jsonl.)
+                    if args.path.endswith(".gz"):
+                        raise ValueError(
+                            "--follow cannot tail a gzip-compressed file; "
+                            "decompress it or drop --follow"
+                        )
+                    with open(args.path, "r", encoding="utf-8") as handle:
+                        lines = _follow_lines(
+                            handle, args.poll_interval, args.idle_timeout
+                        )
+                        chunks = read_packets_jsonl_chunks(lines, args.chunk)
+                        for chunk in _read_chunks(chunks):
+                            engine.ingest(chunk)
+                            consume(engine.poll())
+                else:
+                    chunks = read_packets_jsonl_chunks(args.path, args.chunk)
+                    for chunk in _read_chunks(chunks):
+                        engine.ingest(chunk)
+                        consume(engine.poll())
+            except KeyboardInterrupt:
+                print("interrupted: flushing open windows", file=sys.stderr)
+            consume(engine.flush())
+            telemetry = engine.telemetry
+            stats = engine.stats()
 
-    print(f"committed windows     : {committed_windows}")
-    print(f"committed estimates   : {committed_estimates}")
-    print(format_stream_report(telemetry))
-    return 0
+        print(f"committed windows     : {committed_windows}")
+        print(f"committed estimates   : {committed_estimates}")
+        print(format_stream_report(telemetry))
+        stats.update(
+            committed_windows=committed_windows,
+            committed_estimates=committed_estimates,
+        )
+        return 0, stats
+
+    return _run_with_metrics(args, "stream", body)
+
+
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write a machine-readable run report (counters, histograms, "
+             "stage trace; schema domo.run_report/1) to this JSON file; "
+             "inspect it with 'domo report PATH'",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-run solver telemetry (iterations, residuals, "
              "window timings, status tally)",
     )
+    _add_metrics_out(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
 
     compare = commands.add_parser("compare", help="Domo vs MNT vs MsgTracing")
@@ -350,9 +484,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare.set_defaults(handler=_cmd_compare)
 
     report = commands.add_parser(
-        "report", help="operator-style diagnostic report"
+        "report",
+        help="operator-style diagnostic report, or pretty-print a "
+             "--metrics-out JSON file",
     )
     _add_scenario_arguments(report)
+    report.add_argument(
+        "metrics_json", nargs="?", default=None,
+        help="a run-report JSON written by --metrics-out; when given, "
+             "pretty-print it instead of generating a trace diagnostic")
+    report.add_argument(
+        "--check", type=float, default=None, metavar="COVERAGE",
+        help="with a metrics JSON: exit 1 unless the report is "
+             "schema-valid and its span coverage is >= this fraction "
+             "(e.g. 0.95); for CI gating")
     report.set_defaults(handler=_cmd_report)
 
     faults = commands.add_parser(
@@ -365,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--kinds", type=str, default=None,
         help="comma-separated injector kinds (default: all)")
+    _add_metrics_out(faults)
     faults.set_defaults(handler=_cmd_faults)
 
     stream = commands.add_parser(
@@ -402,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--verbose", action="store_true",
         help="log each window commit to stderr as it happens")
+    _add_metrics_out(stream)
     stream.set_defaults(handler=_cmd_stream)
     return parser
 

@@ -32,6 +32,7 @@ from repro.core.validation import (
     ValidationReport,
     validate_packets,
 )
+from repro.obs.spans import span
 from repro.sim.packet import PacketId
 from repro.sim.trace import ReceivedPacket, TraceBundle
 
@@ -251,36 +252,38 @@ class DomoReconstructor:
         # module, so a top-level import would be circular.
         from repro.stream.engine import StreamingReconstructor
 
-        packets, vreport = self._prepare(trace)
+        with span("validate"):
+            packets, vreport = self._prepare(trace)
         config = self.config
         started = time.perf_counter()
         with StreamingReconstructor(config, lateness_ms=math.inf) as engine:
             engine.ingest(packets, report=vreport)
             committed = engine.flush()
             stats = engine.stats()
-            span = engine.window_span_ms
+            span_ms = engine.window_span_ms
         estimates: dict[ArrivalKey, float] = {}
         for window in committed:
             estimates.update(window.estimates)
-        if span is None:  # empty trace: the grid was never anchored
-            span = (
+        if span_ms is None:  # empty trace: the grid was never anchored
+            span_ms = (
                 config.window_span_ms
                 if config.window_span_ms is not None
                 else choose_window_span(packets, config.target_window_packets)
             )
-            stats["window_span_ms"] = span
+            stats["window_span_ms"] = span_ms
         elapsed = time.perf_counter() - started
 
         # Assemble full arrival vectors (fall back to interval midpoints
         # for any unknown not covered by a kept window region). The
         # TraceIndex also re-checks id uniqueness for validation="off".
-        full_index = TraceIndex(packets, omega_ms=config.omega_ms)
-        arrival_times: dict[PacketId, list[float]] = {
-            packet.packet_id: assemble_arrival_vector(
-                packet, estimates, config.omega_ms
-            )
-            for packet in full_index.packets
-        }
+        with span("assemble"):
+            full_index = TraceIndex(packets, omega_ms=config.omega_ms)
+            arrival_times: dict[PacketId, list[float]] = {
+                packet.packet_id: assemble_arrival_vector(
+                    packet, estimates, config.omega_ms
+                )
+                for packet in full_index.packets
+            }
         return DelayReconstruction(
             arrival_times=arrival_times,
             estimates=estimates,
@@ -297,10 +300,12 @@ class DomoReconstructor:
         packet_ids: list[PacketId] | None = None,
     ) -> BoundReconstruction:
         """Lower/upper bounds via per-target sub-graph LPs (§IV.C)."""
-        packets, vreport = self._prepare(trace)
+        with span("validate"):
+            packets, vreport = self._prepare(trace)
         config = self.config
-        index = TraceIndex(packets, omega_ms=config.omega_ms)
-        system = build_constraints(index, self._constraint_config(vreport))
+        with span("window_build"):
+            index = TraceIndex(packets, omega_ms=config.omega_ms)
+            system = build_constraints(index, self._constraint_config(vreport))
         computer = BoundComputer(
             system,
             BoundsConfig(
@@ -316,7 +321,10 @@ class DomoReconstructor:
             ]
         else:
             keys = None
-        results: dict[ArrivalKey, BoundResult] = computer.bounds_for_all(keys)
+        with span("solve"):
+            results: dict[ArrivalKey, BoundResult] = computer.bounds_for_all(
+                keys
+            )
         elapsed = time.perf_counter() - started
         degraded = system.stats.get("sum_rows_distrusted", 0) + system.stats.get(
             "sum_upper_degraded", 0

@@ -1,0 +1,88 @@
+"""Nestable stage timers producing the pipeline's stage trace.
+
+``with span("ingest"): ...`` times a block and records it into the
+current :class:`~repro.obs.registry.MetricsRegistry` under a slash-joined
+path that encodes nesting: a ``span("validate")`` opened inside a
+``span("ingest")`` inside a ``span("run")`` aggregates as
+``run/ingest/validate``. Aggregation is per *path* (count, total, min,
+max, error count), not per instance, so a million chunk ingests cost one
+dict entry, and the resulting trace is exactly the stage breakdown the
+RunReport serializes:
+
+    run
+    ├── read
+    ├── ingest
+    │   ├── validate
+    │   └── seal ── window_build
+    ├── solve
+    └── commit
+
+Spans are exception-safe: a body that raises is still recorded (with its
+``errors`` tally bumped) and the nesting stack unwinds correctly, so a
+crashed stage shows up in the trace instead of vanishing from it. The
+stack is thread-local; each process-pool worker keeps its own.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.registry import current_registry
+
+__all__ = ["span", "current_span_path"]
+
+_stack = threading.local()
+
+
+def _path_stack() -> list[str]:
+    stack = getattr(_stack, "names", None)
+    if stack is None:
+        stack = _stack.names = []
+    return stack
+
+
+def current_span_path() -> str:
+    """The slash-joined path of the innermost open span ('' outside)."""
+    return "/".join(_path_stack())
+
+
+class span:
+    """Context manager timing one stage of the pipeline.
+
+    Reentrant by construction (each ``with`` pushes one frame) and cheap
+    enough for chunk-level instrumentation: one perf_counter read on
+    entry and one dict update on exit.
+    """
+
+    __slots__ = ("name", "_path", "_started")
+
+    def __init__(self, name: str) -> None:
+        if "/" in name or not name:
+            raise ValueError(
+                f"span names are single path components, got {name!r}"
+            )
+        self.name = name
+        self._path = ""
+        self._started = 0.0
+
+    def __enter__(self) -> "span":
+        stack = _path_stack()
+        stack.append(self.name)
+        self._path = "/".join(stack)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._started
+        stack = _path_stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        current_registry().record_span(
+            self._path, duration, error=exc_type is not None
+        )
+
+    @property
+    def path(self) -> str:
+        """The full slash path this span records under (set on entry)."""
+        return self._path

@@ -12,6 +12,7 @@ resolved FIFO constraints over an extracted sub-graph. This module exposes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +20,7 @@ import scipy.sparse as sp
 from scipy.optimize import linprog
 
 from repro.constants import INF
+from repro.obs.solver_telemetry import record_solver_result
 from repro.optim.result import SolverResult, SolverStatus
 
 
@@ -70,6 +72,7 @@ _LINPROG_STATUS = {
 def solve_lp(problem: LinearProgram) -> SolverResult:
     """Solve a :class:`LinearProgram` with scipy's HiGHS backend."""
     # linprog wants A_ub x <= b_ub and A_eq x == b_eq; split box rows.
+    started = time.perf_counter()
     eq_mask = problem.row_lower == problem.row_upper
     A = problem.A.tocsr()
     up_mask = ~eq_mask & np.isfinite(problem.row_upper)
@@ -106,12 +109,16 @@ def solve_lp(problem: LinearProgram) -> SolverResult:
     )
     status = _LINPROG_STATUS.get(outcome.status, SolverStatus.NUMERICAL_ERROR)
     x = np.asarray(outcome.x) if outcome.x is not None else np.empty(0)
-    return SolverResult(
-        status=status,
-        x=x,
-        objective=float(outcome.fun) if status.is_usable else float("nan"),
-        iterations=int(getattr(outcome, "nit", 0) or 0),
-        info={"message": outcome.message},
+    return record_solver_result(
+        "lp",
+        SolverResult(
+            status=status,
+            x=x,
+            objective=float(outcome.fun) if status.is_usable else float("nan"),
+            iterations=int(getattr(outcome, "nit", 0) or 0),
+            solve_time_s=time.perf_counter() - started,
+            info={"message": outcome.message},
+        ),
     )
 
 

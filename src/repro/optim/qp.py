@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs.solver_telemetry import record_solver_result
 from repro.optim.linalg import KKTFactorization, as_csc
 from repro.optim.result import SolverResult, SolverStatus
 
@@ -101,7 +102,7 @@ def solve_qp(
     if m == 0:
         result = _solve_unconstrained(problem)
         result.solve_time_s = time.perf_counter() - started
-        return result
+        return record_solver_result("qp", result)
 
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=float)
     z = np.clip(problem.A @ x, problem.lower, problem.upper)
@@ -145,19 +146,24 @@ def solve_qp(
     if not np.all(np.isfinite(x)):
         status = SolverStatus.NUMERICAL_ERROR
 
-    return SolverResult(
-        status=status,
-        x=x,
-        objective=problem.objective(x) if status.is_usable else float("nan"),
-        iterations=iteration,
-        primal_residual=primal_res,
-        dual_residual=dual_res,
-        solve_time_s=time.perf_counter() - started,
-        info={
-            "dual": y,
-            "num_variables": n,
-            "num_constraints": m,
-        },
+    return record_solver_result(
+        "qp",
+        SolverResult(
+            status=status,
+            x=x,
+            objective=(
+                problem.objective(x) if status.is_usable else float("nan")
+            ),
+            iterations=iteration,
+            primal_residual=primal_res,
+            dual_residual=dual_res,
+            solve_time_s=time.perf_counter() - started,
+            info={
+                "dual": y,
+                "num_variables": n,
+                "num_constraints": m,
+            },
+        ),
     )
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs.solver_telemetry import record_solver_result
 from repro.optim.linalg import KKTFactorization, as_csc, project_psd
 from repro.optim.result import SolverResult, SolverStatus
 
@@ -169,14 +170,19 @@ def solve_sdp(problem: SDPProblem, x0: np.ndarray | None = None) -> SolverResult
     if not np.all(np.isfinite(x)):
         status = SolverStatus.NUMERICAL_ERROR
 
-    return SolverResult(
-        status=status,
-        x=x,
-        objective=problem.objective(x) if status.is_usable else float("nan"),
-        iterations=iteration,
-        primal_residual=primal_res,
-        dual_residual=dual_res,
-        solve_time_s=time.perf_counter() - started,
+    return record_solver_result(
+        "sdp",
+        SolverResult(
+            status=status,
+            x=x,
+            objective=(
+                problem.objective(x) if status.is_usable else float("nan")
+            ),
+            iterations=iteration,
+            primal_residual=primal_res,
+            dual_residual=dual_res,
+            solve_time_s=time.perf_counter() - started,
+        ),
     )
 
 

@@ -39,6 +39,12 @@ from repro.core.estimator import EstimatorConfig, estimate_arrival_times_info
 from repro.core.preprocessor import WindowSystem
 from repro.core.records import ArrivalKey
 from repro.core.sdr import SdrConfig, solve_window_sdr_info
+from repro.obs.registry import (
+    COUNT_EDGES,
+    current_registry,
+    isolated_registry,
+)
+from repro.obs.spans import span
 from repro.optim.result import SolverError
 from repro.runtime.telemetry import WindowTelemetry
 
@@ -59,6 +65,11 @@ class WindowResult:
     window_index: int
     estimates: dict[ArrivalKey, float]
     telemetry: WindowTelemetry
+    #: metrics-registry snapshot captured around the solve (QP/SDP
+    #: histograms, window timings). Recorded in the solving process —
+    #: possibly a pool worker — and merged into the submitting process's
+    #: registry when the result is drained; ``None`` once merged.
+    metrics: dict | None = None
 
 
 @dataclass
@@ -121,7 +132,23 @@ def solve_one_window(
     :class:`~repro.optim.result.SolverError` walks the relaxation ladder
     (drop sum-upper -> drop FIFO -> order-only -> interval midpoints) and
     never raises.
+
+    Metrics emitted during the solve (the QP/SDP histograms and the
+    ``window.*`` aggregates) are captured in an isolated registry and
+    shipped back on ``WindowResult.metrics``, so a pool worker's
+    observations reach the parent process and the merged aggregate is
+    identical between serial and parallel runs.
     """
+    with isolated_registry() as window_registry:
+        result = _solve_one_window_inner(window_index, ws, spec)
+        result.telemetry.publish(window_registry)
+    result.metrics = window_registry.snapshot()
+    return result
+
+
+def _solve_one_window_inner(
+    window_index: int, ws: WindowSystem, spec: WindowSolveSpec
+) -> WindowResult:
     started = time.perf_counter()
     system = ws.system
     solver = "linearized"
@@ -270,6 +297,7 @@ class WindowExecutor:
 
     def _degrade(self, exc: BaseException) -> None:
         """Fall back to serial: re-solve everything the pool still owed."""
+        current_registry().inc("executor.pool_degraded")
         if self.fallback_reason is None:
             self.fallback_reason = f"{type(exc).__name__}: {exc}"
         self.mode = "serial"
@@ -292,8 +320,17 @@ class WindowExecutor:
         time, but nothing waits on other windows.)
         """
         payload = (window_index, ws, self.spec)
+        registry = current_registry()
+        registry.inc("executor.submitted")
+        registry.observe(
+            "executor.queue_depth", float(self.in_flight + 1), COUNT_EDGES
+        )
+        registry.set_gauge("executor.in_flight", self.in_flight + 1)
         if self.mode != "parallel":
-            self._done.append(_solve_entry(payload))
+            # Serial mode solves inline, so the stage trace charges the
+            # wall time to "solve" here rather than at drain time.
+            with span("solve"):
+                self._done.append(_solve_entry(payload))
             return
         try:
             if self._pool is None:
@@ -339,6 +376,14 @@ class WindowExecutor:
                 break
         results = list(self._done)
         self._done.clear()
+        if results:
+            # Fold the workers' metric snapshots into this process's
+            # registry exactly once per result (results leave drain once).
+            registry = current_registry()
+            registry.inc("executor.drained", len(results))
+            for result in results:
+                registry.merge(result.metrics)
+                result.metrics = None
         return results
 
     def close(self) -> None:

@@ -1,150 +1,20 @@
-"""Structured solver telemetry for the windowed estimation pipeline.
+"""Historical home of the solver telemetry (moved to :mod:`repro.obs`).
 
-Each window solve produces one :class:`WindowTelemetry` record — which
-solver ran, how it terminated, how many ADMM iterations it took, the
-final residuals and the wall-clock time. :func:`summarize_telemetry`
-folds a run's records into the flat ``stats`` dict exposed on
-:class:`~repro.core.pipeline.DelayReconstruction`, and
-:func:`format_telemetry_report` renders an operator-readable summary for
-the CLI's ``--solver-stats`` path.
+The implementation now lives in :mod:`repro.obs.solver_telemetry`, next
+to the metrics registry it publishes into; this module keeps the public
+names importable from their original location.
 """
 
-from __future__ import annotations
+from repro.obs.solver_telemetry import (  # noqa: F401
+    SOLVER_KINDS,
+    WindowTelemetry,
+    format_telemetry_report,
+    summarize_telemetry,
+)
 
-from dataclasses import asdict, dataclass
-
-#: solver kinds a window solve can report.
-SOLVER_KINDS = ("linearized", "sdr", "fallback", "empty")
-
-
-@dataclass(frozen=True)
-class WindowTelemetry:
-    """Observability record of one window solve."""
-
-    #: position of the window in the planned sequence (0-based).
-    window_index: int
-    #: packets whose constraints entered this window's system.
-    num_packets: int
-    #: unknown arrival times solved for.
-    num_unknowns: int
-    #: estimates kept from this window (keep-region packets).
-    num_kept: int
-    #: "linearized" (Eq. (8) QP), "sdr" (lifted SDP), "fallback"
-    #: (SolverError -> interval midpoints) or "empty" (no unknowns).
-    solver: str
-    #: solver termination status value (e.g. "optimal"), or "fallback".
-    status: str
-    #: ADMM iterations performed (0 when nothing iterated).
-    iterations: int
-    #: final primal/dual residuals (inf-norm; NaN when not solved).
-    primal_residual: float
-    dual_residual: float
-    #: wall-clock seconds spent solving this window.
-    solve_time_s: float
-    #: degradation-ladder rung that produced the estimates: 0 = full
-    #: system, then one rung per dropped constraint family
-    #: (drop_sum_upper, drop_fifo, order_only), highest = midpoints.
-    relax_rung: int = 0
-    #: human-readable name of the rung ("full" when nothing was relaxed).
-    relax_stage: str = "full"
-    #: solve attempts made on this window (1 = first try succeeded).
-    solve_attempts: int = 1
-
-    def as_dict(self) -> dict:
-        return asdict(self)
-
-
-def summarize_telemetry(records: list[WindowTelemetry]) -> dict:
-    """Aggregate per-window records into the pipeline's ``stats`` dict.
-
-    Keeps the pre-existing keys (``sdr_windows``, ``linearized_windows``,
-    ``failed_windows``) so callers written against the serial pipeline
-    keep working, and layers the new observability totals on top.
-    """
-    stats = {
-        "windows": len(records),
-        "sdr_windows": 0,
-        "linearized_windows": 0,
-        "failed_windows": 0,
-        "empty_windows": 0,
-        "total_unknowns": 0,
-        "total_iterations": 0,
-        "window_solve_time_s": 0.0,
-        "max_window_solve_time_s": 0.0,
-        "max_primal_residual": 0.0,
-        "max_dual_residual": 0.0,
-        "status_counts": {},
-        "relaxed_windows": 0,
-        "relax_retries": 0,
-        "relax_rung_histogram": {},
-    }
-    for record in records:
-        key = {
-            "linearized": "linearized_windows",
-            "sdr": "sdr_windows",
-            "fallback": "failed_windows",
-            "empty": "empty_windows",
-        }.get(record.solver)
-        if key is not None:
-            stats[key] += 1
-        stats["total_unknowns"] += record.num_unknowns
-        stats["total_iterations"] += record.iterations
-        stats["window_solve_time_s"] += record.solve_time_s
-        stats["max_window_solve_time_s"] = max(
-            stats["max_window_solve_time_s"], record.solve_time_s
-        )
-        for field in ("primal_residual", "dual_residual"):
-            value = getattr(record, field)
-            if value == value:  # skip NaN
-                stats[f"max_{field}"] = max(stats[f"max_{field}"], value)
-        stats["status_counts"][record.status] = (
-            stats["status_counts"].get(record.status, 0) + 1
-        )
-        if record.relax_rung > 0:
-            stats["relaxed_windows"] += 1
-            stats["relax_rung_histogram"][record.relax_stage] = (
-                stats["relax_rung_histogram"].get(record.relax_stage, 0) + 1
-            )
-        stats["relax_retries"] += max(0, record.solve_attempts - 1)
-    stats["window_telemetry"] = [record.as_dict() for record in records]
-    return stats
-
-
-def format_telemetry_report(stats: dict) -> str:
-    """Human-readable multi-line summary of a run's solver telemetry."""
-    lines = [
-        f"windows solved       : {stats.get('windows', 0)}",
-        f"  linearized / sdr   : {stats.get('linearized_windows', 0)}"
-        f" / {stats.get('sdr_windows', 0)}",
-        f"  failed (fallback)  : {stats.get('failed_windows', 0)}",
-        f"execution mode       : {stats.get('execution_mode', 'serial')}"
-        f" (workers: {stats.get('workers', 1)})",
-        f"total unknowns       : {stats.get('total_unknowns', 0)}",
-        f"total ADMM iterations: {stats.get('total_iterations', 0)}",
-        f"window solve time    : {stats.get('window_solve_time_s', 0.0):.3f} s"
-        f" (slowest window "
-        f"{stats.get('max_window_solve_time_s', 0.0):.3f} s)",
-        f"max primal residual  : {stats.get('max_primal_residual', 0.0):.3g}",
-        f"max dual residual    : {stats.get('max_dual_residual', 0.0):.3g}",
-    ]
-    counts = stats.get("status_counts", {})
-    if counts:
-        rendered = ", ".join(
-            f"{status}: {count}" for status, count in sorted(counts.items())
-        )
-        lines.append(f"status tally         : {rendered}")
-    relaxed = stats.get("relaxed_windows", 0)
-    if relaxed:
-        histogram = stats.get("relax_rung_histogram", {})
-        rendered = ", ".join(
-            f"{stage}: {count}" for stage, count in sorted(histogram.items())
-        )
-        lines.append(f"relaxed windows      : {relaxed} ({rendered})")
-    quarantined = stats.get("quarantined_packets", 0)
-    degraded = stats.get("degraded_constraints", 0)
-    if quarantined or degraded:
-        lines.append(
-            f"degradation          : {quarantined} packets quarantined, "
-            f"{degraded} sum constraints degraded"
-        )
-    return "\n".join(lines)
+__all__ = [
+    "SOLVER_KINDS",
+    "WindowTelemetry",
+    "format_telemetry_report",
+    "summarize_telemetry",
+]

@@ -53,6 +53,8 @@ from repro.core.records import ArrivalKey, assemble_arrival_vector
 from repro.core.validation import ValidationReport, validate_packets
 from repro.core.windows import TimeWindow, iter_window_grid
 from repro.constants import INF
+from repro.obs.registry import current_registry
+from repro.obs.spans import span
 from repro.runtime.executor import WindowExecutor, WindowResult, WindowSolveSpec
 from repro.runtime.telemetry import WindowTelemetry, summarize_telemetry
 from repro.sim.packet import PacketId
@@ -204,6 +206,12 @@ class StreamingReconstructor:
         chunks and late arrivals are quarantined, never solved twice or
         silently dropped.
         """
+        with span("ingest"):
+            self._ingest(packets, report=report)
+        self.telemetry.publish()
+        current_registry().set_gauge("stream.backlog", self.backlog)
+
+    def _ingest(self, packets, *, report: ValidationReport | None = None) -> None:
         if isinstance(packets, TraceBundle):
             packets = packets.received
         packets = list(packets)
@@ -232,13 +240,14 @@ class StreamingReconstructor:
                     default=INF,
                 ),
             )
-            packets, chunk_report = validate_packets(
-                packets,
-                self.config.validation,
-                first_t0_ms=(
-                    self._min_t0_ms if self._min_t0_ms != INF else None
-                ),
-            )
+            with span("validate"):
+                packets, chunk_report = validate_packets(
+                    packets,
+                    self.config.validation,
+                    first_t0_ms=(
+                        self._min_t0_ms if self._min_t0_ms != INF else None
+                    ),
+                )
             self.report.merge(chunk_report)
             self.report.total_packets += chunk_report.total_packets
         else:
@@ -273,8 +282,9 @@ class StreamingReconstructor:
 
     def poll(self) -> list[CommittedWindow]:
         """Non-blocking: advance the state machine, return new commits."""
-        self._advance(block=False)
-        out, self._commits_out = self._commits_out, []
+        with span("poll"):
+            self._advance(block=False)
+            out, self._commits_out = self._commits_out, []
         return out
 
     def flush(self) -> list[CommittedWindow]:
@@ -285,14 +295,16 @@ class StreamingReconstructor:
         on the already-anchored grid, where anything behind the sealed
         frontier is quarantined as late.
         """
-        self._maybe_anchor(force=True)
-        if self._slots:
-            last = max(self._slots)
-            for grid_index in range(self._frontier, last + 1):
-                self._seal_index(grid_index)
-            self._frontier = max(self._frontier, last + 1)
-        self._advance(block=True)
-        out, self._commits_out = self._commits_out, []
+        with span("flush"):
+            self._maybe_anchor(force=True)
+            if self._slots:
+                last = max(self._slots)
+                for grid_index in range(self._frontier, last + 1):
+                    self._seal_index(grid_index)
+                self._frontier = max(self._frontier, last + 1)
+            self._advance(block=True)
+            out, self._commits_out = self._commits_out, []
+        self.telemetry.publish()
         return out
 
     def close(self) -> None:
@@ -463,35 +475,42 @@ class StreamingReconstructor:
             self.telemetry.windows_skipped += 1
             self._release(slot)
             return
-        slot.state = WindowState.SEALED
-        slot.sealed_at = time.perf_counter()
-        self.telemetry.windows_sealed += 1
-        system = make_window_system(
-            slot.window,
-            slot.members,
-            slot.kept_ids,
-            constraint_config_for(self.config, self.report),
-        )
-        slot.degraded = system.system.stats.get(
-            "sum_rows_distrusted", 0
-        ) + system.system.stats.get("sum_upper_degraded", 0)
-        slot.solve_index = self._next_solve_index
-        self._next_solve_index += 1
-        slot.state = WindowState.SOLVING
-        self._solving[slot.solve_index] = slot
-        self.telemetry.max_backlog = max(self.telemetry.max_backlog, self.backlog)
-        self._ensure_executor().submit(slot.solve_index, system)
+        with span("seal"):
+            slot.state = WindowState.SEALED
+            slot.sealed_at = time.perf_counter()
+            self.telemetry.windows_sealed += 1
+            with span("window_build"):
+                system = make_window_system(
+                    slot.window,
+                    slot.members,
+                    slot.kept_ids,
+                    constraint_config_for(self.config, self.report),
+                )
+            slot.degraded = system.system.stats.get(
+                "sum_rows_distrusted", 0
+            ) + system.system.stats.get("sum_upper_degraded", 0)
+            slot.solve_index = self._next_solve_index
+            self._next_solve_index += 1
+            slot.state = WindowState.SOLVING
+            self._solving[slot.solve_index] = slot
+            self.telemetry.max_backlog = max(
+                self.telemetry.max_backlog, self.backlog
+            )
+            self._ensure_executor().submit(slot.solve_index, system)
 
     def _advance(self, block: bool = False) -> None:
         """Seal what the watermark allows, drain solves, commit in order."""
         self._seal_ready()
         if self._executor is not None and self._solving:
-            for result in self._executor.drain(block=block):
-                self._completed[result.window_index] = result
-        while self._next_commit_index in self._completed:
-            result = self._completed.pop(self._next_commit_index)
-            self._commit(result)
-            self._next_commit_index += 1
+            with span("solve"):
+                for result in self._executor.drain(block=block):
+                    self._completed[result.window_index] = result
+        if self._next_commit_index in self._completed:
+            with span("commit"):
+                while self._next_commit_index in self._completed:
+                    result = self._completed.pop(self._next_commit_index)
+                    self._commit(result)
+                    self._next_commit_index += 1
 
     def _commit(self, result: WindowResult) -> None:
         slot = self._solving.pop(result.window_index)

@@ -1,0 +1,104 @@
+"""Tests of the benchmark harness and the perf-gate regression checker."""
+
+import json
+
+from benchmarks.check_regression import (
+    DEFAULT_TOLERANCE,
+    bench_name,
+    check_report,
+    make_baseline,
+)
+from benchmarks.harness import BenchHarness
+from repro.obs.registry import current_registry
+from repro.obs.report import validate_report
+
+
+def test_harness_emits_valid_bench_report(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("BENCH_OUT_DIR", str(tmp_path))
+    with BenchHarness("demo", config={"nodes": 7}) as bench:
+        current_registry().inc("demo.events", 3)
+        bench.record(num_estimates=42)
+    assert bench.path == str(tmp_path / "BENCH_demo.json")
+    data = json.loads((tmp_path / "BENCH_demo.json").read_text())
+    assert validate_report(data) == []
+    assert data["command"] == "bench:demo"
+    assert data["config"] == {"nodes": 7}
+    assert data["stats"] == {"num_estimates": 42}
+    assert data["metrics"]["counters"]["demo.events"] == 3
+    assert data["wall_time_s"] > 0.0
+    capsys.readouterr()
+
+
+def test_harness_writes_nothing_on_error(tmp_path, monkeypatch):
+    monkeypatch.setenv("BENCH_OUT_DIR", str(tmp_path))
+    try:
+        with BenchHarness("boom"):
+            raise RuntimeError("bench failed")
+    except RuntimeError:
+        pass
+    assert not (tmp_path / "BENCH_boom.json").exists()
+
+
+def _report(wall, **stats):
+    return {
+        "schema": "domo.run_report/1",
+        "command": "bench:demo",
+        "wall_time_s": wall,
+        "stats": stats,
+    }
+
+
+def test_gate_passes_within_tolerance_and_fails_beyond():
+    baseline = make_baseline(_report(1.0, num_estimates=392),
+                             ["num_estimates"])
+    assert baseline["tolerance"] == DEFAULT_TOLERANCE
+    assert bench_name(_report(1.0)) == "demo"
+
+    assert check_report(_report(1.25, num_estimates=392), baseline) == []
+    problems = check_report(_report(2.0, num_estimates=392), baseline)
+    assert len(problems) == 1 and "wall time regression" in problems[0]
+    # Getting faster is never a failure.
+    assert check_report(_report(0.2, num_estimates=392), baseline) == []
+
+
+def test_gate_fails_on_parity_drift_even_when_fast():
+    baseline = make_baseline(_report(1.0, num_estimates=392),
+                             ["num_estimates"])
+    problems = check_report(_report(0.5, num_estimates=391), baseline)
+    assert len(problems) == 1 and "parity break" in problems[0]
+    # A missing parity stat is also a break.
+    problems = check_report(_report(0.5), baseline)
+    assert any("parity break" in p for p in problems)
+
+
+def test_gate_tolerance_override():
+    baseline = make_baseline(_report(1.0, num_estimates=1),
+                             ["num_estimates"])
+    report = _report(1.5, num_estimates=1)
+    assert check_report(report, baseline) != []
+    assert check_report(report, baseline, tolerance=0.6) == []
+
+
+def test_checked_in_baselines_cover_the_gate_benches():
+    """The perf-gate job depends on these two files existing and pinning
+    deterministic parity values."""
+    import os
+
+    from benchmarks.check_regression import BASELINE_DIR, BASELINE_SCHEMA
+
+    for name, keys in (
+        ("parallel_scaling", {"num_estimates", "windows_used"}),
+        ("streaming_throughput",
+         {"num_estimates", "packets", "windows_committed"}),
+    ):
+        path = os.path.join(BASELINE_DIR, f"{name}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        assert baseline["schema"] == BASELINE_SCHEMA
+        assert baseline["bench"] == name
+        assert baseline["wall_time_s"] > 0
+        assert 0 < baseline["tolerance"] < 1
+        assert keys <= set(baseline["parity"])
+        assert all(
+            isinstance(v, int) for v in baseline["parity"].values()
+        ), "parity values must be exact-match integers"

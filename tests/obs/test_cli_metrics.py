@@ -1,0 +1,96 @@
+"""End-to-end tests of --metrics-out and the `domo report` printer."""
+
+import json
+
+from repro.cli import main
+from repro.obs.report import validate_report
+
+SCENARIO = ["--nodes", "16", "--duration", "20", "--period", "3",
+            "--seed", "2"]
+
+
+def _load(path):
+    data = json.loads(path.read_text())
+    assert validate_report(data) == []
+    return data
+
+
+def test_estimate_metrics_out(tmp_path, capsys):
+    out = tmp_path / "est.json"
+    code = main(["estimate", *SCENARIO, "--metrics-out", str(out)])
+    assert code == 0
+    data = _load(out)
+    assert data["command"] == "estimate"
+    assert data["span_coverage"] >= 0.95
+    assert data["metrics"]["counters"]["pipeline.windows_solved"] > 0
+    assert data["stats"]["reconstructed_delays"] > 0
+    assert data["config"]["nodes"] == 16
+    capsys.readouterr()
+
+
+def test_stream_metrics_out_meets_coverage_bar(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    out = tmp_path / "run.json"
+    assert main(["simulate", *SCENARIO, "--save-stream", str(trace)]) == 0
+    code = main(
+        ["stream", str(trace), "--lateness-ms", "2000", "--chunk", "32",
+         "--metrics-out", str(out)]
+    )
+    assert code == 0
+    data = _load(out)
+    assert data["command"] == "stream"
+    assert data["span_coverage"] >= 0.95
+    paths = {entry["path"] for entry in data["spans"]}
+    assert {"run", "run/read", "run/ingest", "run/flush"} <= paths
+    assert data["stats"]["committed_estimates"] >= 0
+    capsys.readouterr()
+
+
+def test_faults_metrics_out(tmp_path, capsys):
+    out = tmp_path / "faults.json"
+    code = main(
+        ["faults", *SCENARIO, "--rates", "0.1", "--metrics-out", str(out)]
+    )
+    assert code == 0
+    data = _load(out)
+    assert data["command"] == "faults"
+    assert data["stats"]["cells"] > 0
+    capsys.readouterr()
+
+
+def test_report_pretty_prints_and_checks(tmp_path, capsys):
+    out = tmp_path / "est.json"
+    assert main(["estimate", *SCENARIO, "--metrics-out", str(out)]) == 0
+    capsys.readouterr()
+
+    assert main(["report", str(out), "--check", "0.95"]) == 0
+    printed = capsys.readouterr().out
+    assert "run report: estimate" in printed
+    assert "stage trace" in printed
+
+    # An impossible bar fails the check.
+    assert main(["report", str(out), "--check", "1.01"]) == 1
+    capsys.readouterr()
+
+
+def test_report_check_rejects_invalid_document(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope", "command": "x"}))
+    assert main(["report", str(bad), "--check", "0.5"]) == 1
+    # Even without --check, schema problems exit nonzero.
+    assert main(["report", str(bad)]) == 1
+    capsys.readouterr()
+
+
+def test_metrics_out_does_not_change_stdout_results(tmp_path, capsys):
+    def result_lines(text):
+        # Drop the one wall-clock-dependent line; everything else must
+        # be identical with and without metrics collection.
+        return [l for l in text.splitlines() if "time per delay" not in l]
+
+    assert main(["estimate", *SCENARIO]) == 0
+    plain = capsys.readouterr().out
+    out = tmp_path / "est.json"
+    assert main(["estimate", *SCENARIO, "--metrics-out", str(out)]) == 0
+    with_metrics = capsys.readouterr().out
+    assert result_lines(plain) == result_lines(with_metrics)

@@ -1,0 +1,140 @@
+"""Tests of the RunReport schema: round-trip, validation, coverage."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import COUNT_EDGES, MetricsRegistry
+from repro.obs.report import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    build_run_report,
+    format_run_report,
+    sanitize_json,
+    span_coverage,
+    validate_report,
+    write_run_report,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("windows", 3)
+    registry.set_gauge("backlog", 2.0)
+    registry.observe("unknowns", 12.0, COUNT_EDGES)
+    registry.record_span("run", 1.0, error=False)
+    registry.record_span("run/ingest", 0.6, error=False)
+    registry.record_span("run/ingest/seal", 0.5, error=False)
+    registry.record_span("run/solve", 0.38, error=True)
+    return registry
+
+
+def test_build_and_round_trip():
+    report = build_run_report(
+        "stream",
+        argv=["trace.jsonl", "--lateness-ms", "2000"],
+        config={"lateness_ms": 2000.0, "bad_float": float("inf")},
+        stats={"committed": 7},
+        registry=_populated_registry(),
+    )
+    assert report.wall_time_s == pytest.approx(1.0)
+    # direct children of run: ingest (0.6) + solve (0.38); the nested
+    # seal span must not double-count.
+    assert report.span_coverage == pytest.approx(0.98)
+
+    text = report.to_json()
+    assert "Infinity" not in text and "NaN" not in text
+    back = RunReport.from_json(text)
+    assert back.to_dict() == report.to_dict()
+    assert back.config["bad_float"] is None
+    assert validate_report(report.to_dict()) == []
+
+
+def test_write_run_report_is_strict_json(tmp_path):
+    path = tmp_path / "r.json"
+    write_run_report(
+        str(path), build_run_report("estimate", registry=MetricsRegistry())
+    )
+    data = json.loads(path.read_text())
+    assert data["schema"] == RUN_REPORT_SCHEMA
+    assert validate_report(data) == []
+
+
+def test_validator_catches_malformed_reports():
+    good = build_run_report("x", registry=_populated_registry()).to_dict()
+    assert validate_report(good) == []
+
+    bad_schema = dict(good, schema="domo.run_report/999")
+    assert any("schema" in p for p in validate_report(bad_schema))
+
+    bad_hist = json.loads(json.dumps(good))
+    bad_hist["metrics"]["histograms"]["unknowns"]["counts"] = [1, 2]
+    assert any("buckets" in p for p in validate_report(bad_hist))
+
+    bad_sum = json.loads(json.dumps(good))
+    bad_sum["metrics"]["histograms"]["unknowns"]["count"] = 99
+    assert any("bucket sum" in p for p in validate_report(bad_sum))
+
+    bad_counter = json.loads(json.dumps(good))
+    bad_counter["metrics"]["counters"]["windows"] = -1
+    assert any("nonneg" in p for p in validate_report(bad_counter))
+
+    bad_cov = dict(good, span_coverage=1.5)
+    assert any("span_coverage" in p for p in validate_report(bad_cov))
+
+    missing = dict(good)
+    del missing["spans"]
+    assert any("missing key" in p for p in validate_report(missing))
+
+    assert validate_report("not a dict") == ["report is not a JSON object"]
+
+
+def test_span_coverage_edge_cases():
+    assert span_coverage([]) == (0.0, 0.0)
+    only_root = [
+        {"path": "run", "count": 1, "total_s": 2.0, "min_s": 2.0,
+         "max_s": 2.0, "errors": 0}
+    ]
+    wall, coverage = span_coverage(only_root, root="run")
+    assert wall == 2.0 and coverage == 0.0
+    # Coverage is capped at 1.0 even when rounding pushes children over.
+    spans = only_root + [
+        {"path": "run/a", "count": 1, "total_s": 2.1, "min_s": 2.1,
+         "max_s": 2.1, "errors": 0}
+    ]
+    assert span_coverage(spans, root="run")[1] == 1.0
+
+
+def test_sanitize_json():
+    out = sanitize_json(
+        {
+            1: float("nan"),
+            "inf": float("inf"),
+            "set": {3, 1, 2},
+            "tuple": (1.0, 2.0),
+            "nested": {"ok": 5},
+        }
+    )
+    assert out == {
+        "1": None,
+        "inf": None,
+        "set": [1, 2, 3],
+        "tuple": [1.0, 2.0],
+        "nested": {"ok": 5},
+    }
+    assert math.isfinite(out["tuple"][0])
+
+
+def test_format_run_report_renders_tree_parent_first():
+    report = build_run_report("stream", registry=_populated_registry())
+    text = format_run_report(report.to_dict())
+    assert "run report: stream" in text
+    assert "stage trace" in text
+    lines = text.splitlines()
+    run_i = next(i for i, l in enumerate(lines) if l.strip().startswith("run "))
+    ingest_i = next(i for i, l in enumerate(lines) if l.strip().startswith("ingest"))
+    seal_i = next(i for i, l in enumerate(lines) if l.strip().startswith("seal"))
+    assert run_i < ingest_i < seal_i
+    assert "counters" in text and "windows" in text
+    assert "(1 errors)" in text

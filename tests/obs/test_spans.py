@@ -1,0 +1,55 @@
+"""Tests of the nestable span timers and their stage-trace paths."""
+
+import pytest
+
+from repro.obs.registry import isolated_registry
+from repro.obs.spans import current_span_path, span
+
+
+def test_nesting_builds_slash_paths():
+    with isolated_registry() as registry:
+        with span("run"):
+            with span("flush"):
+                with span("seal"):
+                    assert current_span_path() == "run/flush/seal"
+            with span("commit"):
+                pass
+        paths = list(registry.snapshot()["spans"])
+    assert current_span_path() == ""
+    assert set(paths) == {
+        "run/flush/seal", "run/flush", "run/commit", "run",
+    }
+
+
+def test_same_stage_aggregates_per_path():
+    with isolated_registry() as registry:
+        with span("run"):
+            for _ in range(5):
+                with span("ingest"):
+                    pass
+        spans = registry.snapshot()["spans"]
+    assert spans["run/ingest"]["count"] == 5
+    assert spans["run"]["count"] == 1
+    assert spans["run"]["total_s"] >= spans["run/ingest"]["total_s"]
+
+
+def test_exception_safety_records_error_and_unwinds():
+    with isolated_registry() as registry:
+        with pytest.raises(RuntimeError):
+            with span("run"):
+                with span("solve"):
+                    raise RuntimeError("window exploded")
+        assert current_span_path() == ""
+        with span("after"):
+            pass
+        spans = registry.snapshot()["spans"]
+    assert spans["run/solve"]["errors"] == 1
+    assert spans["run"]["errors"] == 1
+    assert "after" in spans  # stack unwound, not "run/after"
+
+
+def test_span_name_must_be_single_component():
+    with pytest.raises(ValueError):
+        span("a/b")
+    with pytest.raises(ValueError):
+        span("")
