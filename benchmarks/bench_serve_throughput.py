@@ -1,0 +1,148 @@
+"""Service-layer throughput: wire ingest -> shared pool -> query rate.
+
+The serve layer's claim is that the socket/session machinery is thin:
+records fed over a real unix socket from several concurrent connections
+come out the query API bit-identical to the batch pipeline, at a packet
+rate dominated by the solver, not by framing or demux. This benchmark
+replays a seeded trace through :class:`repro.serve.ReconstructionServer`
+(in-process, unix socket, N feeder connections sharding the trace) and
+reports end-to-end packets/sec alongside the batch rate on the same
+trace.
+
+Parity values pinned by the perf gate are deterministic: packet count,
+served estimate count (== batch), and windows committed by the shared
+pool.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+
+from benchmarks.conftest import simulated_trace
+from repro.analysis.tables import format_sweep_table
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+from repro.serve import ReconstructionServer, connect, run_in_thread
+
+SERVE_NODES = 49
+SERVE_DURATION_MS = 60_000.0
+CONNECTIONS = 3
+#: pinned span so every run solves the same windows (the density
+#: heuristic would choose differently per-shard otherwise).
+SPAN_MS = 12_000.0
+
+
+def _feed(sock_path: str, shard, failures: list) -> None:
+    try:
+        with connect(socket_path=sock_path) as client:
+            client.send_packets(shard, stream="bench")
+            if not client.health().get("ok"):
+                failures.append("health check failed")
+            failures.extend(client.async_errors)
+    except Exception as exc:  # noqa: BLE001
+        failures.append(exc)
+
+
+def _serve_run(arrivals, sock_path: str):
+    """One served pass; returns (packets/sec, estimates, stats)."""
+    config = DomoConfig(window_span_ms=SPAN_MS)
+    handle = run_in_thread(
+        ReconstructionServer(config, socket_path=sock_path)
+    )
+    try:
+        failures: list = []
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=_feed,
+                args=(sock_path, arrivals[i::CONNECTIONS], failures),
+            )
+            for i in range(CONNECTIONS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        with connect(socket_path=sock_path) as query:
+            reply = query.flush("bench")
+            assert reply["ok"], reply
+            estimates = query.estimates("bench")
+            stats = query.stats()
+        elapsed = time.perf_counter() - started
+    finally:
+        handle.stop()
+    return len(arrivals) / elapsed, estimates, stats
+
+
+def _throughput_sweep(trace, out=None):
+    arrivals = sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+
+    started = time.perf_counter()
+    batch = DomoReconstructor(DomoConfig(window_span_ms=SPAN_MS)).estimate(
+        trace
+    )
+    batch_rate = len(arrivals) / (time.perf_counter() - started)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sock_path = os.path.join(tmp, "bench.sock")
+        serve_rate, estimates, stats = _serve_run(arrivals, sock_path)
+
+    assert estimates == batch.estimates, (
+        "served estimates diverged from the batch pipeline"
+    )
+    windows_committed = stats["streams"]["bench"]["windows_committed"]
+    if out is not None:
+        # Deterministic outputs the perf-gate baseline pins exactly.
+        out["packets"] = len(arrivals)
+        out["num_estimates"] = len(estimates)
+        out["windows_committed"] = windows_committed
+        out["serve_rate_pps"] = serve_rate
+    return [
+        ["batch estimate", f"{batch_rate:.0f}", "-", batch.num_estimated],
+        [f"serve x{CONNECTIONS} conns", f"{serve_rate:.0f}",
+         windows_committed, len(estimates)],
+    ]
+
+
+def test_serve_throughput(benchmark):
+    trace = simulated_trace(
+        num_nodes=SERVE_NODES, duration_ms=SERVE_DURATION_MS
+    )
+    rows = benchmark.pedantic(
+        _throughput_sweep, args=(trace,), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(
+        ["run", "packets/s", "windows", "estimates"], rows,
+    ))
+    # Parity is asserted inside the sweep; here we only require that the
+    # served path actually committed work.
+    assert int(rows[1][3]) > 0
+
+
+def main() -> None:
+    from benchmarks.harness import BenchHarness
+
+    trace = simulated_trace(
+        num_nodes=SERVE_NODES, duration_ms=SERVE_DURATION_MS
+    )
+    print(f"trace: {trace.num_received} packets\n")
+    with BenchHarness(
+        "serve_throughput",
+        config={"nodes": SERVE_NODES, "span_ms": SPAN_MS,
+                "connections": CONNECTIONS},
+    ) as bench:
+        parity: dict = {}
+        rows = _throughput_sweep(trace, out=parity)
+        bench.record(**parity)
+    print(format_sweep_table(
+        ["run", "packets/s", "windows", "estimates"], rows,
+    ))
+    print("\nserved estimates match the batch pipeline bit-for-bit: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Replay a simulated trace through the reconstruction service.
+
+Feeds one stream from N concurrent client connections (round-robin
+shards of the trace, so the server sees arbitrarily interleaved
+partial orderings), FLUSHes, queries RESULTS back, and verifies the
+served estimates are **bit-for-bit identical** to the batch pipeline's
+``DomoReconstructor.estimate`` on the same packets. Exits 1 on any
+mismatch — this is the end-to-end parity check the CI serve-smoke job
+runs.
+
+Against an in-process server (self-contained demo)::
+
+    python examples/serve_demo.py --connections 4
+
+Against an already-running server (two-terminal demo, CI)::
+
+    domo simulate --nodes 16 --duration 30 --seed 7 --save-stream t.jsonl
+    domo serve --socket /tmp/domo.sock &
+    python examples/serve_demo.py --socket /tmp/domo.sock \
+        --trace t.jsonl --connections 2
+"""
+
+import argparse
+import sys
+import threading
+
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+from repro.serve.client import connect
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--socket", type=str, default=None,
+        help="unix socket of a running 'domo serve' (default: start an "
+             "in-process server on a private socket)")
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port of a running server (alternative to --socket)")
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument(
+        "--trace", type=str, default=None,
+        help="JSONL trace to replay (default: simulate a small one)")
+    parser.add_argument(
+        "--connections", type=int, default=3,
+        help="concurrent feeder connections (default 3)")
+    parser.add_argument(
+        "--stream", type=str, default="demo",
+        help="stream id to feed (default 'demo')")
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--duration", type=float, default=25.0)
+    parser.add_argument("--seed", type=int, default=7)
+    return parser.parse_args(argv)
+
+
+def load_packets(args):
+    if args.trace:
+        from repro.sim.io import iter_packets_jsonl
+
+        return list(iter_packets_jsonl(args.trace))
+    from repro.sim import NetworkConfig, simulate_network
+
+    trace = simulate_network(
+        NetworkConfig(
+            num_nodes=args.nodes,
+            placement="grid",
+            duration_ms=args.duration * 1000.0,
+            packet_period_ms=2_500.0,
+            seed=args.seed,
+        )
+    )
+    return list(trace.received)
+
+
+def replay(args, packets, connect_kwargs) -> dict:
+    """Shard the trace over N connections; return the served estimates."""
+    shards = [packets[i :: args.connections] for i in range(args.connections)]
+    failures = []
+
+    def feed(shard):
+        try:
+            with connect(**connect_kwargs) as client:
+                client.send_packets(shard, stream=args.stream)
+                # HEALTH is the sync point: its reply means every record
+                # this connection pipelined was read (and any rejection
+                # surfaced on async_errors).
+                reply = client.health()
+                if not reply.get("ok"):
+                    failures.append(reply)
+                failures.extend(client.async_errors)
+        except Exception as exc:  # noqa: BLE001 - surfaced to main thread
+            failures.append({"error": repr(exc)})
+
+    threads = [
+        threading.Thread(target=feed, args=(shard,)) for shard in shards
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise RuntimeError(f"feeder failures: {failures[:3]}")
+
+    with connect(**connect_kwargs) as query:
+        flushed = query.flush(args.stream)
+        if not flushed.get("ok"):
+            raise RuntimeError(f"FLUSH failed: {flushed}")
+        print(
+            f"flushed stream {args.stream!r}: "
+            f"{flushed['windows_committed']} window(s) committed"
+        )
+        return query.estimates(args.stream)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    packets = load_packets(args)
+    print(
+        f"replaying {len(packets)} records over "
+        f"{args.connections} connection(s)"
+    )
+
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+
+    handle = None
+    if args.socket is None and args.port is None:
+        from repro.serve.server import ReconstructionServer, run_in_thread
+
+        import tempfile, os
+        sock = os.path.join(tempfile.mkdtemp(prefix="domo_demo_"), "s.sock")
+        handle = run_in_thread(
+            ReconstructionServer(DomoConfig(), socket_path=sock)
+        )
+        connect_kwargs = {"socket_path": sock}
+        print(f"started in-process server on unix:{sock}")
+    elif args.socket is not None:
+        connect_kwargs = {"socket_path": args.socket}
+    else:
+        connect_kwargs = {"host": args.host, "port": args.port}
+
+    try:
+        served = replay(args, packets, connect_kwargs)
+    finally:
+        if handle is not None:
+            handle.stop()
+
+    if served == batch.estimates:
+        print(
+            f"PARITY OK: {len(served)} served estimates are bit-for-bit "
+            f"identical to the batch pipeline"
+        )
+        return 0
+    missing = set(batch.estimates) - set(served)
+    extra = set(served) - set(batch.estimates)
+    drift = [
+        key
+        for key in set(served) & set(batch.estimates)
+        if served[key] != batch.estimates[key]
+    ]
+    print(
+        f"PARITY FAILED: {len(missing)} missing, {len(extra)} extra, "
+        f"{len(drift)} drifted estimate(s)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

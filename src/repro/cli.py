@@ -13,6 +13,9 @@ Subcommands::
     domo stream    trace.jsonl --lateness-ms 2000 [--follow]
         Incremental reconstruction over a JSON Lines packet stream
         (``-`` reads stdin; ``--follow`` tails a growing file).
+    domo serve     --socket domo.sock [--port 7734]
+        Multi-stream reconstruction service over unix/TCP sockets
+        (newline-delimited records in, strict-JSON query replies out).
 
 Operational errors — a missing, truncated or non-JSON trace file —
 print a one-line message and exit with code 2 instead of a traceback.
@@ -24,6 +27,8 @@ import argparse
 import sys
 
 import numpy as np
+
+from repro import __version__
 
 from repro.analysis.experiments import (
     evaluate_accuracy,
@@ -327,20 +332,43 @@ def _cmd_faults(args) -> int:
     return _run_with_metrics(args, "faults", body)
 
 
-def _follow_lines(handle, poll_interval: float, idle_timeout: float):
-    """Tail a growing file: yield lines, polling on EOF until idle."""
+def _follow_lines(
+    handle, poll_interval: float, idle_timeout: float, sleep=None
+):
+    """Tail a growing file: yield complete lines, polling on EOF.
+
+    Splits raw chunks on newlines itself rather than trusting
+    ``readline``: at EOF ``readline`` returns whatever partial text the
+    producer has written so far, and a record cut mid-write must be
+    buffered until its newline lands — not parsed as a truncated (and
+    therefore corrupt) record. A final *unterminated* line is yielded
+    only once the idle timeout expires, so a producer that never wrote
+    the last newline still gets its record processed instead of lost.
+    ``sleep`` is injectable for tests.
+    """
     import time
 
+    if sleep is None:
+        sleep = time.sleep
+    buffer = ""
     idle = 0.0
     while True:
-        line = handle.readline()
-        if line:
+        chunk = handle.read(65536)
+        if chunk:
             idle = 0.0
-            yield line
+            buffer += chunk
+            while True:
+                cut = buffer.find("\n")
+                if cut < 0:
+                    break
+                yield buffer[: cut + 1]
+                buffer = buffer[cut + 1:]
             continue
         if idle >= idle_timeout:
+            if buffer:
+                yield buffer
             return
-        time.sleep(poll_interval)
+        sleep(poll_interval)
         idle += poll_interval
 
 
@@ -437,6 +465,46 @@ def _cmd_stream(args) -> int:
     return _run_with_metrics(args, "stream", body)
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import ReconstructionServer
+
+    if args.socket is None and args.port is None:
+        raise ValueError("domo serve needs --socket and/or --port")
+
+    def on_ready(server) -> None:
+        for endpoint in server.endpoints:
+            print(f"serving on {endpoint}", file=sys.stderr)
+
+    server = ReconstructionServer(
+        _domo_config(args),
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        lateness_ms=args.lateness_ms,
+        chunk=args.chunk,
+        queue_capacity=args.queue_capacity,
+        metrics_out=args.metrics_out,
+        argv=list(sys.argv[1:]),
+        on_ready=on_ready,
+    )
+    # The server wraps itself in an isolated registry + root "run" span
+    # and writes its own RunReport at drain, so no _run_with_metrics.
+    report = asyncio.run(server.run())
+    stats = report.stats
+    print(
+        f"drained: {stats.get('sessions', 0)} session(s), "
+        f"{stats.get('server', {}).get('records_accepted', 0)} record(s) "
+        f"accepted",
+        file=sys.stderr,
+    )
+    if args.metrics_out:
+        print(f"metrics report        : {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
 def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out", type=str, default=None, metavar="PATH",
@@ -450,6 +518,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="domo",
         description="Domo delay tomography (ICDCS'14) reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"domo {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -550,6 +621,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="log each window commit to stderr as it happens")
     _add_metrics_out(stream)
     stream.set_defaults(handler=_cmd_stream)
+
+    serve = commands.add_parser(
+        "serve",
+        help="multi-stream reconstruction service over unix/TCP sockets",
+    )
+    serve.add_argument(
+        "--socket", type=str, default=None, metavar="PATH",
+        help="listen on this unix-domain socket")
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="listen on this TCP port (0 picks a free one)")
+    serve.add_argument(
+        "--max-sessions", type=_positive_int, default=64,
+        help="admission limit on concurrently active streams "
+             "(default 64); excess streams get a clean error line")
+    serve.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="solve sealed windows on a shared process pool with this "
+             "many workers (>1 enables parallel execution)")
+    serve.add_argument(
+        "--lateness-ms", type=float, default=float("inf"),
+        help="watermark allowance per stream (default 'inf': all "
+             "sealing deferred to FLUSH/shutdown, making served results "
+             "bit-identical to 'domo estimate' for any interleaving)")
+    serve.add_argument(
+        "--chunk", type=_positive_int, default=256,
+        help="max records per engine ingest call (default 256)")
+    serve.add_argument(
+        "--queue-capacity", type=_positive_int, default=1024,
+        help="per-stream ingest queue bound; a full queue pauses that "
+             "connection's reader (backpressure) instead of buffering "
+             "without bound (default 1024)")
+    serve.add_argument(
+        "--validate", choices=("off", "strict", "repair", "drop"),
+        default="repair",
+        help="ingest validation mode for every stream (default: repair)")
+    _add_metrics_out(serve)
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -48,6 +48,7 @@ __all__ = [
     "inc",
     "isolated_registry",
     "observe",
+    "registry_scope",
     "set_gauge",
 ]
 
@@ -353,6 +354,18 @@ class _RegistryScope:
 def isolated_registry(enabled: bool = True) -> _RegistryScope:
     """Scope a fresh registry: ``with isolated_registry() as reg: ...``."""
     return _RegistryScope(MetricsRegistry(enabled=enabled))
+
+
+def registry_scope(registry: MetricsRegistry) -> _RegistryScope:
+    """Scope an *existing* registry as the current one.
+
+    The multi-session form of :func:`isolated_registry`: the serve layer
+    keeps one long-lived registry per stream session and re-installs it
+    around every engine call (which may run on a different worker thread
+    each time — the current registry is thread-local), then merges the
+    session registries into the server registry at drain time.
+    """
+    return _RegistryScope(registry)
 
 
 def disabled_metrics() -> _RegistryScope:

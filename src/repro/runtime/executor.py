@@ -28,6 +28,7 @@ Robustness rules:
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, wait
@@ -267,6 +268,20 @@ class WindowExecutor:
     infrastructure failure re-solves the affected windows in-process and
     permanently degrades the executor to serial (``fallback_reason``
     records why) — a broken pool never fails or drops a window.
+
+    **Threading model.** One executor may be shared by multiple producer
+    threads (the serve layer runs one ingest thread per stream session
+    over a single pool): ``submit``, ``drain`` and ``close`` are safe to
+    call concurrently. Internal bookkeeping is lock-guarded, the
+    blocking ``wait`` in ``drain`` runs *outside* the lock (a blocking
+    drainer never stalls a submitter), and every completed result is
+    handed to exactly one ``drain`` call — no window is lost, duplicated
+    or double-merged into the metrics registry. Results are *not*
+    routed per producer: any drainer may receive any producer's result,
+    so a multiplexer that needs per-stream routing (e.g.
+    :class:`repro.serve.pool.SharedSolverPool`) must key results by
+    ``window_index`` itself, typically by submitting globally unique
+    indices and being the executor's only drainer.
     """
 
     def __init__(
@@ -284,6 +299,9 @@ class WindowExecutor:
             else 1
         )
         self.fallback_reason: str | None = None
+        #: guards mode/pool/_pending; reentrant so _degrade may run while
+        #: submit already holds it. Never held across a solve or a wait.
+        self._lock = threading.RLock()
         self._pool: ProcessPoolExecutor | None = None
         self._pending: dict = {}  # future -> payload
         self._done: deque[WindowResult] = deque()
@@ -298,26 +316,28 @@ class WindowExecutor:
     def _degrade(self, exc: BaseException) -> None:
         """Fall back to serial: re-solve everything the pool still owed."""
         current_registry().inc("executor.pool_degraded")
-        if self.fallback_reason is None:
-            self.fallback_reason = f"{type(exc).__name__}: {exc}"
-        self.mode = "serial"
-        self.workers = 1
-        pending = list(self._pending.values())
-        self._pending.clear()
-        if self._pool is not None:
+        with self._lock:
+            if self.fallback_reason is None:
+                self.fallback_reason = f"{type(exc).__name__}: {exc}"
+            self.mode = "serial"
+            self.workers = 1
+            pending = list(self._pending.values())
+            self._pending.clear()
+            pool, self._pool = self._pool, None
+        if pool is not None:
             try:
-                self._pool.shutdown(wait=False, cancel_futures=True)
+                pool.shutdown(wait=False, cancel_futures=True)
             except Exception:
                 pass
-            self._pool = None
         for payload in pending:
             self._done.append(_solve_entry(payload))
 
     def submit(self, window_index: int, ws: WindowSystem) -> None:
-        """Queue one window for solving; never blocks on the solve.
+        """Queue one window for solving; never blocks on other windows.
 
-        (Serial mode solves inline, which does take the solve's wall
-        time, but nothing waits on other windows.)
+        (Serial mode solves inline, which does take this solve's wall
+        time, but nothing waits on other windows.) Safe to call from
+        multiple producer threads.
         """
         payload = (window_index, ws, self.spec)
         registry = current_registry()
@@ -326,21 +346,27 @@ class WindowExecutor:
             "executor.queue_depth", float(self.in_flight + 1), COUNT_EDGES
         )
         registry.set_gauge("executor.in_flight", self.in_flight + 1)
-        if self.mode != "parallel":
-            # Serial mode solves inline, so the stage trace charges the
-            # wall time to "solve" here rather than at drain time.
-            with span("solve"):
-                self._done.append(_solve_entry(payload))
-            return
-        try:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            future = self._pool.submit(_solve_entry, payload)
-        except POOL_ERRORS as exc:
-            self._degrade(exc)
+        with self._lock:
+            # The mode check happens under the lock so a concurrent
+            # _degrade cannot race a submission onto a dying pool.
+            if self.mode == "parallel":
+                try:
+                    if self._pool is None:
+                        self._pool = ProcessPoolExecutor(
+                            max_workers=self.workers
+                        )
+                    future = self._pool.submit(_solve_entry, payload)
+                except POOL_ERRORS as exc:
+                    self._degrade(exc)
+                else:
+                    self._pending[future] = payload
+                    return
+        # Serial mode (or a pool that failed to accept the submission):
+        # solve inline, outside the lock — the stage trace charges the
+        # wall time to "solve" here rather than at drain time, and other
+        # producers keep submitting while this thread solves.
+        with span("solve"):
             self._done.append(_solve_entry(payload))
-            return
-        self._pending[future] = payload
 
     def drain(self, block: bool = False) -> list[WindowResult]:
         """Completed window results, in completion order.
@@ -348,18 +374,25 @@ class WindowExecutor:
         With ``block=False`` returns whatever has finished so far; with
         ``block=True`` waits for every submitted window first. Callers
         needing window order sort on ``WindowResult.window_index``.
+        Concurrent drains are safe: each completed result is delivered
+        to exactly one caller, and the blocking wait runs outside the
+        lock so a blocked drainer never stalls submitters.
         """
-        while self._pending:
-            done, _ = wait(
-                list(self._pending), timeout=None if block else 0.0
-            )
+        while True:
+            with self._lock:
+                pending = list(self._pending)
+            if not pending:
+                break
+            done, _ = wait(pending, timeout=None if block else 0.0)
             failure: BaseException | None = None
             for future in done:
                 # A broken pool marks every in-flight future done-and-
-                # failing at once, so pop defensively: _degrade (below)
-                # clears _pending, and a future it already re-solved must
-                # not be solved again.
-                payload = self._pending.pop(future, None)
+                # failing at once (and a concurrent drainer may have
+                # claimed this future first), so pop defensively:
+                # _degrade (below) clears _pending, and a future already
+                # re-solved or claimed must not be solved again.
+                with self._lock:
+                    payload = self._pending.pop(future, None)
                 if payload is None:
                     continue
                 try:
@@ -374,8 +407,14 @@ class WindowExecutor:
                 self._degrade(failure)
             if not block or not done:
                 break
-        results = list(self._done)
-        self._done.clear()
+        # Atomic pops, not list()+clear(): two concurrent drains must
+        # partition the done queue, never both see the same result.
+        results: list[WindowResult] = []
+        while True:
+            try:
+                results.append(self._done.popleft())
+            except IndexError:
+                break
         if results:
             # Fold the workers' metric snapshots into this process's
             # registry exactly once per result (results leave drain once).
@@ -390,9 +429,10 @@ class WindowExecutor:
         """Shut the pool down (pending futures are drained first)."""
         if self._pending:
             self.drain(block=True)
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 def execute_windows(

@@ -1,0 +1,31 @@
+"""The reconstruction service layer: ``domo serve`` and its client.
+
+Layering (each module only imports downward)::
+
+    server   asyncio listeners, readers, pumps, drain-on-SIGTERM
+    session  per-stream engine + registry + result log; admission
+    pool     fair multiplexing of many engines onto one WindowExecutor
+    protocol newline-delimited records/commands, strict-JSON replies
+    client   synchronous helper speaking the protocol (demo, CI, tests)
+"""
+
+from repro.serve.client import ServeClient, connect
+from repro.serve.pool import SessionExecutor, SharedSolverPool
+from repro.serve.protocol import DEFAULT_STREAM, ProtocolError
+from repro.serve.server import ReconstructionServer, ServerHandle, run_in_thread
+from repro.serve.session import SessionLimitError, SessionManager, StreamSession
+
+__all__ = [
+    "DEFAULT_STREAM",
+    "ProtocolError",
+    "ReconstructionServer",
+    "ServeClient",
+    "ServerHandle",
+    "SessionExecutor",
+    "SessionLimitError",
+    "SessionManager",
+    "SharedSolverPool",
+    "StreamSession",
+    "connect",
+    "run_in_thread",
+]

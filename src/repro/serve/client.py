@@ -1,0 +1,131 @@
+"""Synchronous client for the reconstruction service's line protocol.
+
+Used by ``examples/serve_demo.py``, the CI serve-smoke job, and tests.
+One :class:`ServeClient` wraps one connection; records are pipelined
+(written without waiting for acks) and commands are request/response.
+Asynchronous error lines the server interleaves (rejected records,
+tagged ``"async": true``) are collected on :attr:`async_errors` while
+waiting for a command's reply, so a replay can assert that every record
+it sent was actually accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.serve.protocol import (
+    DEFAULT_STREAM,
+    arrival_key_of,
+    encode_record,
+)
+
+__all__ = ["ServeClient", "connect"]
+
+
+class ServeClient:
+    """One connection to a running reconstruction server."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        #: async error lines observed while reading command replies.
+        self.async_errors: list[dict] = []
+
+    # -- transport ------------------------------------------------------
+
+    def send_packet(self, packet, stream: str = DEFAULT_STREAM) -> None:
+        """Pipeline one record (no ack; see :attr:`async_errors`)."""
+        self._sock.sendall(encode_record(stream, packet))
+
+    def send_packets(self, packets, stream: str = DEFAULT_STREAM) -> int:
+        """Pipeline a batch of records in one buffered write."""
+        chunk = b"".join(encode_record(stream, p) for p in packets)
+        self._sock.sendall(chunk)
+        return chunk.count(b"\n")
+
+    def command(self, line: str) -> dict:
+        """Send one command line, return its (non-async) JSON reply."""
+        self._sock.sendall(line.strip().encode("utf-8") + b"\n")
+        while True:
+            raw = self._rfile.readline()
+            if not raw:
+                raise ConnectionError(
+                    f"server closed the connection during {line!r}"
+                )
+            reply = json.loads(raw)
+            if reply.get("async"):
+                self.async_errors.append(reply)
+                continue
+            return reply
+
+    # -- commands -------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.command("HEALTH")
+
+    def stats(self) -> dict:
+        return self.command("STATS")
+
+    def flush(self, stream: str = DEFAULT_STREAM) -> dict:
+        return self.command(f"FLUSH {stream}")
+
+    def results(self, stream: str = DEFAULT_STREAM, since: int = -1) -> dict:
+        suffix = f" --since {since}" if since >= 0 else ""
+        return self.command(f"RESULTS {stream}{suffix}")
+
+    def estimates(self, stream: str = DEFAULT_STREAM) -> dict:
+        """All committed estimates of a stream, decoded to real keys.
+
+        Returns ``{ArrivalKey: float}`` merged across windows — directly
+        comparable (``==``, bit-for-bit) with the batch pipeline's
+        ``DomoReconstructor.estimate`` output.
+        """
+        reply = self.results(stream)
+        if not reply.get("ok"):
+            raise RuntimeError(f"RESULTS failed: {reply.get('error')}")
+        merged = {}
+        for window in reply["windows"]:
+            for key_text, value in window["estimates"].items():
+                merged[arrival_key_of(key_text)] = value
+        return merged
+
+    def quit(self) -> None:
+        try:
+            self.command("QUIT")
+        except (ConnectionError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    socket_path: str | None = None,
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    timeout: float | None = 30.0,
+) -> ServeClient:
+    """Open a client over a unix socket (preferred) or TCP."""
+    if socket_path is not None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+    elif port is not None:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    else:
+        raise ValueError("need a unix socket path or a TCP port")
+    return ServeClient(sock)

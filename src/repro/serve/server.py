@@ -1,0 +1,567 @@
+"""The asyncio reconstruction server: many sockets in, one solver pool.
+
+Architecture (one box per concurrency domain)::
+
+    TCP / unix listeners          asyncio event loop        worker threads
+    ─────────────────────         ──────────────────        ──────────────
+    conn reader ──parse──▶ per-stream asyncio.Queue ──▶ pump ──▶ session.ingest
+    conn reader ──parse──▶        (bounded)           ──▶ pump ──▶ session.ingest
+         │                                                     │
+         └── commands ◀── strict-JSON replies                  └─▶ SharedSolverPool
+
+* **Readers** (one coroutine per connection) split lines, parse records
+  and commands (:mod:`repro.serve.protocol`), and enqueue records onto
+  their stream's bounded queue. A full queue blocks the ``put``, which
+  stops the reader, which stops reading the socket, which fills the
+  kernel buffers, which blocks the client's ``send`` — backpressure is
+  the transport's own flow control, so an overloaded server slows
+  producers down instead of buffering without bound or dropping
+  accepted records.
+* **Pumps** (one per stream) batch records off the queue and run
+  ``session.ingest`` in a worker thread (``asyncio.to_thread``) under
+  the stream's asyncio lock, so the event loop never blocks on a solve
+  and each engine only ever sees one call at a time.
+* **Solves** are multiplexed over one shared
+  :class:`~repro.serve.pool.SharedSolverPool` with round-robin fairness
+  across streams.
+* **Shutdown** (SIGTERM/SIGINT or :meth:`request_shutdown`) drains in
+  order: stop accepting, close readers, flush the queues through the
+  pumps, final-flush every session (sealing and committing every open
+  window), close the pool, then write the ``domo.run_report/1`` with
+  every session's and the pool's metrics merged in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+
+from repro.core.pipeline import DomoConfig
+from repro.obs.registry import isolated_registry
+from repro.obs.report import RunReport, build_run_report, write_run_report
+from repro.obs.spans import span
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    CommandLine,
+    ProtocolError,
+    RecordLine,
+    encode_response,
+    error_response,
+    parse_line,
+)
+from repro.serve.session import SessionLimitError, SessionManager, StreamSession
+
+__all__ = ["ReconstructionServer", "ServerHandle", "run_in_thread"]
+
+
+class _StreamLane:
+    """Event-loop-side plumbing of one stream: queue, pump, engine lock."""
+
+    def __init__(self, session: StreamSession, capacity: int) -> None:
+        self.session = session
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
+        self.lock = asyncio.Lock()
+        self.pump: asyncio.Task | None = None
+        self.stopping = False
+
+
+class ReconstructionServer:
+    """Line-protocol reconstruction service over TCP and/or unix sockets.
+
+    Args:
+        config: reconstruction configuration shared by every stream.
+        socket_path: serve on this unix-domain socket (optional).
+        host/port: serve on TCP (optional; ``port=0`` picks a free port,
+            readable afterwards from :attr:`endpoints`).
+        max_sessions: admission limit on concurrently active streams.
+        lateness_ms: watermark allowance passed to every engine;
+            ``inf`` (the default) defers all sealing to FLUSH/shutdown,
+            which makes served results bit-identical to the batch
+            pipeline regardless of how clients shard or interleave.
+        chunk: max records per engine ingest call.
+        queue_capacity: bound of each stream's ingest queue — the
+            backpressure high-watermark.
+        metrics_out: write the shutdown RunReport here.
+    """
+
+    def __init__(
+        self,
+        config: DomoConfig | None = None,
+        *,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        max_sessions: int = 64,
+        lateness_ms: float = float("inf"),
+        chunk: int = 256,
+        queue_capacity: int = 1024,
+        metrics_out: str | None = None,
+        argv: list[str] | None = None,
+        on_ready=None,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ValueError("need a unix socket path and/or a TCP port")
+        if chunk < 1 or queue_capacity < 1:
+            raise ValueError("chunk and queue_capacity must be >= 1")
+        self.config = config or DomoConfig()
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.chunk = chunk
+        self.queue_capacity = queue_capacity
+        self.metrics_out = metrics_out
+        self.argv = list(argv or [])
+        #: called with the server once the listeners are up (CLI banner).
+        self.on_ready = on_ready
+        self.manager = SessionManager(
+            self.config, lateness_ms=lateness_ms, max_sessions=max_sessions
+        )
+        #: "unix:<path>" / "tcp:<host>:<port>" actually listening.
+        self.endpoints: list[str] = []
+        #: the shutdown RunReport, populated when :meth:`run` returns.
+        self.report: RunReport | None = None
+
+        self._lanes: dict[str, _StreamLane] = {}
+        self._servers: list[asyncio.AbstractServer] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._bg_tasks: set[asyncio.Task] = set()
+        self._next_conn_id = 0
+        self._records_accepted = 0
+        self._records_rejected = 0
+        self._connections_total = 0
+        self._shutdown: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def run(self) -> RunReport:
+        """Serve until SIGTERM/SIGINT/:meth:`request_shutdown`, drain,
+        and return (and optionally write) the run report."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        handled_signals = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self._shutdown.set)
+                handled_signals.append(sig)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # not the main thread, or platform without support
+        try:
+            with isolated_registry() as registry:
+                with span("run"):
+                    with span("serve"):
+                        await self._start_listeners()
+                        self._ready.set()
+                        if self.on_ready is not None:
+                            self.on_ready(self)
+                        await self._shutdown.wait()
+                    with span("drain"):
+                        await self._drain()
+                for session in self.manager._sessions.values():
+                    registry.merge(session.registry.snapshot())
+                registry.merge(self.manager.pool.registry.snapshot())
+                self.report = build_run_report(
+                    "serve",
+                    argv=self.argv,
+                    config=self.config,
+                    stats=self.stats(),
+                    registry=registry,
+                )
+        finally:
+            self._ready.set()  # never leave run_in_thread waiting
+            for sig in handled_signals:
+                self._loop.remove_signal_handler(sig)
+            if self.socket_path is not None:
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
+        if self.metrics_out:
+            write_run_report(self.metrics_out, self.report)
+        return self.report
+
+    def request_shutdown(self) -> None:
+        """Trigger the graceful drain (thread-safe, idempotent)."""
+        loop, event = self._loop, self._shutdown
+        if loop is None or event is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until the listeners are up (for out-of-thread callers)."""
+        return self._ready.wait(timeout)
+
+    async def _start_listeners(self) -> None:
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self.socket_path,
+                limit=MAX_LINE_BYTES,
+            )
+            self._servers.append(server)
+            self.endpoints.append(f"unix:{self.socket_path}")
+        if self.port is not None:
+            server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.host,
+                port=self.port,
+                limit=MAX_LINE_BYTES,
+            )
+            self._servers.append(server)
+            bound = server.sockets[0].getsockname()
+            self.port = bound[1]
+            self.endpoints.append(f"tcp:{self.host}:{bound[1]}")
+
+    async def _drain(self) -> None:
+        """The graceful-shutdown sequence (see module docstring)."""
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        # Disconnect-triggered evictions need the pumps alive (they wait
+        # on queue.join()), so settle them before stopping the pumps.
+        if self._bg_tasks:
+            await asyncio.gather(*self._bg_tasks, return_exceptions=True)
+        for lane in self._lanes.values():
+            await lane.queue.put(None)
+        pumps = [lane.pump for lane in self._lanes.values() if lane.pump]
+        if pumps:
+            await asyncio.gather(*pumps, return_exceptions=True)
+        # Everything queued is ingested; seal/solve/commit every open
+        # window and shut the solver pool down.
+        await asyncio.to_thread(self.manager.close)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        self._connections_total += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(conn_id, reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            for session in self.manager.disconnect(conn_id):
+                self._spawn(self._evict_when_drained(session))
+
+    async def _serve_connection(self, conn_id: int, reader, writer) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # Line longer than MAX_LINE_BYTES: unrecoverable framing.
+                writer.write(
+                    encode_response(
+                        error_response("line too long", fatal=True)
+                    )
+                )
+                await writer.drain()
+                return
+            if not line:
+                return  # EOF
+            try:
+                with span("parse"):
+                    parsed = parse_line(
+                        line.decode("utf-8", errors="replace"), conn_id
+                    )
+            except ProtocolError as exc:
+                self._records_rejected += 1
+                writer.write(
+                    encode_response(error_response(str(exc), **{"async": True}))
+                )
+                await writer.drain()
+                continue
+            if parsed is None:
+                continue
+            if isinstance(parsed, RecordLine):
+                await self._accept_record(conn_id, parsed, writer)
+                continue
+            response = await self._handle_command(parsed)
+            writer.write(encode_response(response))
+            await writer.drain()
+            if parsed.verb == "QUIT":
+                return
+
+    async def _accept_record(
+        self, conn_id: int, record: RecordLine, writer
+    ) -> None:
+        try:
+            lane = self._lane(record.stream)
+        except SessionLimitError as exc:
+            self._records_rejected += 1
+            writer.write(
+                encode_response(
+                    error_response(
+                        str(exc), stream=record.stream, **{"async": True}
+                    )
+                )
+            )
+            await writer.drain()
+            return
+        if lane.session.drained:
+            self._records_rejected += 1
+            writer.write(
+                encode_response(
+                    error_response(
+                        f"stream {record.stream!r} is drained",
+                        stream=record.stream,
+                        **{"async": True},
+                    )
+                )
+            )
+            await writer.drain()
+            return
+        lane.session.add_owner(conn_id)
+        # The backpressure point: a full queue parks this reader (and
+        # thereby the client's sends) until the pump catches up.
+        await lane.queue.put(record.packet)
+        self._records_accepted += 1
+
+    def _lane(self, stream_id: str) -> _StreamLane:
+        lane = self._lanes.get(stream_id)
+        if lane is None:
+            session = self.manager.get_or_create(stream_id)
+            lane = _StreamLane(session, self.queue_capacity)
+            # Pumps live outside _bg_tasks: _drain settles the short-
+            # lived background work (evictions) *before* stopping the
+            # pumps, because evictions wait on queues only pumps empty.
+            lane.pump = asyncio.get_running_loop().create_task(
+                self._pump(lane)
+            )
+            self._lanes[stream_id] = lane
+        return lane
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._bg_tasks.add(task)
+        task.add_done_callback(self._bg_tasks.discard)
+        return task
+
+    # ------------------------------------------------------------------
+    # Pumps and eviction
+    # ------------------------------------------------------------------
+
+    async def _pump(self, lane: _StreamLane) -> None:
+        """Batch records off the stream queue into the engine."""
+        while not lane.stopping:
+            item = await lane.queue.get()
+            if item is None:
+                lane.queue.task_done()
+                return
+            batch = [item]
+            while len(batch) < self.chunk:
+                try:
+                    extra = lane.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is None:
+                    lane.stopping = True
+                    lane.queue.task_done()
+                    break
+                batch.append(extra)
+            try:
+                async with lane.lock:
+                    await asyncio.to_thread(lane.session.ingest, batch)
+            finally:
+                # task_done only after ingest: queue.join() == "every
+                # record queued so far has reached the engine".
+                for _ in batch:
+                    lane.queue.task_done()
+
+    async def _evict_when_drained(self, session: StreamSession) -> None:
+        """Last feeder left: flush once its queued records are ingested."""
+        lane = self._lanes.get(session.stream_id)
+        if lane is not None:
+            await lane.queue.join()
+        # A new connection may have adopted the stream while we waited.
+        if session.num_owners or session.drained:
+            return
+        if lane is not None:
+            async with lane.lock:
+                await asyncio.to_thread(self.manager.evict, session)
+        else:
+            await asyncio.to_thread(self.manager.evict, session)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    async def _handle_command(self, cmd: CommandLine) -> dict:
+        try:
+            if cmd.verb == "HEALTH":
+                return {
+                    "ok": True,
+                    "status": "serving",
+                    "sessions": len(self.manager._sessions),
+                    "active_sessions": self.manager.active_sessions,
+                }
+            if cmd.verb == "STATS":
+                return {"ok": True, **self.stats()}
+            if cmd.verb == "RESULTS":
+                return await self._cmd_results(cmd.args)
+            if cmd.verb == "FLUSH":
+                return await self._cmd_flush(cmd.args)
+            if cmd.verb == "QUIT":
+                return {"ok": True, "bye": True}
+            return error_response(f"unknown command {cmd.verb!r}")
+        except ProtocolError as exc:
+            return error_response(str(exc))
+        except Exception as exc:  # noqa: BLE001 - one bad command must
+            # never take the server down; the client gets the reason.
+            return error_response(f"{type(exc).__name__}: {exc}")
+
+    async def _cmd_results(self, args: tuple[str, ...]) -> dict:
+        if not args:
+            raise ProtocolError("RESULTS needs a stream id")
+        stream_id = args[0]
+        since = -1
+        rest = list(args[1:])
+        while rest:
+            flag = rest.pop(0)
+            if flag == "--since" and rest:
+                try:
+                    since = int(rest.pop(0))
+                except ValueError:
+                    raise ProtocolError("--since takes an integer")
+            else:
+                raise ProtocolError(f"unknown RESULTS argument {flag!r}")
+        session = self.manager.get(stream_id)
+        if session is None:
+            return error_response(
+                f"unknown stream {stream_id!r}", stream=stream_id
+            )
+        windows = session.results_since(since)
+        return {
+            "ok": True,
+            "stream": stream_id,
+            "since": since,
+            "count": len(windows),
+            "last_solve_index": (
+                windows[-1]["solve_index"] if windows else since
+            ),
+            "drained": session.drained,
+            "windows": windows,
+        }
+
+    async def _cmd_flush(self, args: tuple[str, ...]) -> dict:
+        if len(args) != 1:
+            raise ProtocolError("FLUSH needs exactly one stream id")
+        stream_id = args[0]
+        lane = self._lanes.get(stream_id)
+        session = self.manager.get(stream_id)
+        if session is None:
+            return error_response(
+                f"unknown stream {stream_id!r}", stream=stream_id
+            )
+        if lane is not None:
+            # Everything enqueued before this FLUSH reaches the engine
+            # first, so the flush covers it.
+            await lane.queue.join()
+            async with lane.lock:
+                new_commits = await asyncio.to_thread(session.flush)
+        else:
+            new_commits = await asyncio.to_thread(session.flush)
+        return {
+            "ok": True,
+            "stream": stream_id,
+            "new_commits": new_commits,
+            "windows_committed": len(session.results),
+        }
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        stats = self.manager.stats()
+        for stream_id, lane in self._lanes.items():
+            entry = stats["streams"].get(stream_id)
+            if entry is not None:
+                entry["queue_depth"] = lane.queue.qsize()
+                entry["queue_capacity"] = self.queue_capacity
+        stats["server"] = {
+            "endpoints": list(self.endpoints),
+            "connections_total": self._connections_total,
+            "connections_open": len(self._conn_tasks),
+            "records_accepted": self._records_accepted,
+            "records_rejected": self._records_rejected,
+            "chunk": self.chunk,
+            "queue_capacity": self.queue_capacity,
+        }
+        return stats
+
+
+# ----------------------------------------------------------------------
+# Thread-hosted server (tests, the in-process demo)
+# ----------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a background thread; ``stop()`` drains it."""
+
+    def __init__(self, server: ReconstructionServer) -> None:
+        self.server = server
+        self._thread = threading.Thread(
+            target=self._main, name="domo-serve", daemon=True
+        )
+        self._error: BaseException | None = None
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self.server.run())
+        except BaseException as exc:  # noqa: BLE001 - reported at stop()
+            self._error = exc
+
+    def start(self, timeout: float = 10.0) -> "ServerHandle":
+        self._thread.start()
+        if not self.server.wait_ready(timeout):
+            raise RuntimeError("server did not come up in time")
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        return self
+
+    def stop(self, timeout: float = 60.0) -> RunReport | None:
+        """Request the graceful drain and join the server thread."""
+        self.server.request_shutdown()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server did not drain in time")
+        if self._error is not None:
+            raise RuntimeError("server crashed") from self._error
+        return self.server.report
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_in_thread(server: ReconstructionServer) -> ServerHandle:
+    """Start ``server`` on a daemon thread and wait for its listeners."""
+    return ServerHandle(server).start()

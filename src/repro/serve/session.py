@@ -1,0 +1,257 @@
+"""Per-stream sessions and the manager that demultiplexes onto them.
+
+A **session** is one stream id's reconstruction state: a
+:class:`~repro.stream.engine.StreamingReconstructor` wired to the shared
+solver pool, a private :class:`~repro.obs.registry.MetricsRegistry`
+(installed around every engine call so per-stream counters stay
+per-stream even though calls run on changing worker threads), and the
+serialized rows of every committed window so RESULTS can be answered
+long after the windows were evicted from the engine.
+
+The **manager** maps stream ids to sessions, enforces the
+``max_sessions`` admission limit (counting *active* sessions — drained
+ones keep answering queries but no longer occupy a slot), and tracks
+which connections feed each stream so the last disconnect triggers
+eviction: flush the engine, commit everything, release the solver lane,
+keep the results queryable.
+
+Everything here is synchronous and asyncio-free: the server calls in
+from ``asyncio.to_thread`` workers (serialized per session by an
+asyncio lock on its side), and unit tests drive sessions directly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.pipeline import DomoConfig
+from repro.obs.registry import MetricsRegistry, registry_scope
+from repro.obs.spans import span
+from repro.runtime.executor import WindowSolveSpec
+from repro.serve.pool import SharedSolverPool
+from repro.serve.protocol import committed_window_to_json
+from repro.stream.engine import StreamingReconstructor
+
+__all__ = ["SessionLimitError", "SessionManager", "StreamSession"]
+
+
+class SessionLimitError(RuntimeError):
+    """Admission control refused to create another session."""
+
+
+class StreamSession:
+    """One stream's engine, metrics scope, and committed-result log."""
+
+    def __init__(
+        self,
+        stream_id: str,
+        config: DomoConfig,
+        lateness_ms: float,
+        pool: SharedSolverPool,
+    ) -> None:
+        self.stream_id = stream_id
+        self.registry = MetricsRegistry()
+        self._pool = pool
+        self._executor = pool.session(stream_id)
+        self.engine = StreamingReconstructor(
+            config, lateness_ms=lateness_ms, executor=self._executor
+        )
+        #: serialized RESULTS rows of every committed window, in commit
+        #: (== solve-index) order; survives engine eviction and drain.
+        self.results: list[dict] = []
+        #: records accepted into the engine (ingest calls may batch).
+        self.records_in = 0
+        self.drained = False
+        #: connections currently feeding this stream.
+        self._owners: set[int] = set()
+
+    # -- engine calls (always under the session registry) ---------------
+
+    def ingest(self, packets) -> None:
+        """Feed one batch of records; collect any windows that committed."""
+        packets = list(packets)
+        with registry_scope(self.registry):
+            with span("session"):
+                self.engine.ingest(packets)
+                committed = self.engine.poll()
+        self.records_in += len(packets)
+        self._absorb(committed)
+
+    def flush(self) -> int:
+        """Seal/solve/commit everything buffered; new committed count."""
+        with registry_scope(self.registry):
+            with span("session"):
+                committed = self.engine.flush()
+        self._absorb(committed)
+        return len(committed)
+
+    def drain(self) -> None:
+        """Final flush + release of the solver lane (results kept)."""
+        if self.drained:
+            return
+        self.flush()
+        self.engine.close()  # no-op on the injected executor, by design
+        self._pool.release(self.stream_id)
+        self.drained = True
+
+    def _absorb(self, committed) -> None:
+        for cw in committed:
+            self.results.append(committed_window_to_json(cw))
+
+    # -- ownership (which connections feed this stream) ------------------
+
+    def add_owner(self, connection_id: int) -> None:
+        self._owners.add(connection_id)
+
+    def remove_owner(self, connection_id: int) -> bool:
+        """Detach a connection; True when this was the last owner."""
+        self._owners.discard(connection_id)
+        return not self._owners
+
+    @property
+    def num_owners(self) -> int:
+        return len(self._owners)
+
+    # -- queries ---------------------------------------------------------
+
+    def results_since(self, since: int = -1) -> list[dict]:
+        """Committed rows with ``solve_index > since`` (all by default)."""
+        return [row for row in self.results if row["solve_index"] > since]
+
+    def stats(self) -> dict:
+        # Deliberately reads only scalar engine state (no
+        # ``engine.stats()``): STATS runs on the event loop while the
+        # session's pump thread may be mid-ingest, and scalar reads are
+        # safe where iterating the engine's dicts would not be.
+        return {
+            "records_in": self.records_in,
+            "windows_committed": len(self.results),
+            "backlog": self.engine.backlog,
+            "resident_packets": self.engine.resident_packets,
+            "quarantined": self.engine.report.num_quarantined,
+            "drained": self.drained,
+            "owners": self.num_owners,
+        }
+
+
+class SessionManager:
+    """Stream-id -> session map with admission control and eviction."""
+
+    def __init__(
+        self,
+        config: DomoConfig | None = None,
+        lateness_ms: float = float("inf"),
+        max_sessions: int = 64,
+        pool: SharedSolverPool | None = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.config = config or DomoConfig()
+        self.lateness_ms = lateness_ms
+        self.max_sessions = max_sessions
+        self.pool = pool or SharedSolverPool(
+            WindowSolveSpec(
+                fifo_mode=self.config.fifo_mode,
+                estimator=self.config.estimator,
+                sdr=self.config.sdr,
+            ),
+            parallel=self.config.parallel,
+            max_workers=self.config.max_workers,
+        )
+        self._lock = threading.Lock()
+        self._sessions: dict[str, StreamSession] = {}
+        self.sessions_rejected = 0
+        self.sessions_evicted = 0
+
+    # -- lookup / admission ----------------------------------------------
+
+    @property
+    def active_sessions(self) -> int:
+        return sum(1 for s in self._sessions.values() if not s.drained)
+
+    def get(self, stream_id: str) -> StreamSession | None:
+        return self._sessions.get(stream_id)
+
+    def get_or_create(self, stream_id: str) -> StreamSession:
+        """The stream's session, admitting a new one if allowed.
+
+        Raises :class:`SessionLimitError` when ``max_sessions`` *active*
+        sessions already exist — drained sessions stay queryable but do
+        not hold an admission slot.
+        """
+        with self._lock:
+            session = self._sessions.get(stream_id)
+            if session is not None:
+                return session
+            if self.active_sessions >= self.max_sessions:
+                self.sessions_rejected += 1
+                raise SessionLimitError(
+                    f"session limit reached ({self.max_sessions} active); "
+                    f"stream {stream_id!r} refused"
+                )
+            session = StreamSession(
+                stream_id, self.config, self.lateness_ms, self.pool
+            )
+            self._sessions[stream_id] = session
+            return session
+
+    # -- eviction ----------------------------------------------------------
+
+    def disconnect(self, connection_id: int) -> list[StreamSession]:
+        """Detach a closed connection everywhere; return sessions whose
+        last feeder just left (the server drains them off-loop)."""
+        orphaned = []
+        with self._lock:
+            for session in self._sessions.values():
+                if session.drained:
+                    continue
+                had = connection_id in session._owners
+                if had and session.remove_owner(connection_id):
+                    orphaned.append(session)
+        return orphaned
+
+    def evict(self, session: StreamSession) -> None:
+        """Drain one orphaned session (flush, release lane, keep results)."""
+        if not session.drained:
+            session.drain()
+            self.sessions_evicted += 1
+
+    def drain_all(self) -> int:
+        """Flush every active session (shutdown path); windows committed."""
+        committed = 0
+        for session in list(self._sessions.values()):
+            if not session.drained:
+                before = len(session.results)
+                session.drain()
+                committed += len(session.results) - before
+        return committed
+
+    # -- aggregate views ---------------------------------------------------
+
+    def merged_registry(self) -> MetricsRegistry:
+        """All session registries + the pool registry, merged."""
+        merged = MetricsRegistry()
+        for session in self._sessions.values():
+            merged.merge(session.registry.snapshot())
+        merged.merge(self.pool.registry.snapshot())
+        return merged
+
+    def stats(self) -> dict:
+        with self._lock:
+            streams = {
+                stream_id: session.stats()
+                for stream_id, session in sorted(self._sessions.items())
+            }
+        return {
+            "sessions": len(streams),
+            "active_sessions": self.active_sessions,
+            "max_sessions": self.max_sessions,
+            "sessions_rejected": self.sessions_rejected,
+            "sessions_evicted": self.sessions_evicted,
+            "pool": self.pool.stats(),
+            "streams": streams,
+        }
+
+    def close(self) -> None:
+        self.drain_all()
+        self.pool.close()

@@ -248,6 +248,18 @@ def packet_to_json(packet: ReceivedPacket) -> dict:
     }
 
 
+def packet_from_json(item, position: int = 0) -> ReceivedPacket:
+    """Inverse of :func:`packet_to_json` (one JSONL/wire record).
+
+    Raises :class:`TraceFormatError` naming the packet and field on a
+    malformed record; ``position`` (a line or sequence number) is folded
+    into the message. The serve layer's line protocol parses its data
+    records through this, so the wire shape and the JSONL trace shape
+    stay a single format.
+    """
+    return _parse_received(item, position)
+
+
 def save_packets_jsonl(
     packets, path: str | Path, sort_by_arrival: bool = False
 ) -> int:

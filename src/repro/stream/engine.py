@@ -134,12 +134,21 @@ class StreamingReconstructor:
             seal to :meth:`flush`, which makes the run bit-identical to
             the batch pipeline (the mode ``DomoReconstructor.estimate``
             uses).
+        executor: optional externally owned solver to submit sealed
+            windows to instead of creating a private
+            :class:`~repro.runtime.executor.WindowExecutor`. Anything
+            with the executor's ``submit``/``drain`` surface works; the
+            serve layer passes a per-session view of its shared solver
+            pool here so many engines share one process pool fairly.
+            An injected executor is *not* closed by :meth:`close` —
+            its owner manages its lifetime.
     """
 
     def __init__(
         self,
         config: DomoConfig | None = None,
         lateness_ms: float = 5_000.0,
+        executor: WindowExecutor | None = None,
     ) -> None:
         if lateness_ms < 0.0:
             raise ValueError(f"lateness must be nonnegative, got {lateness_ms}")
@@ -167,7 +176,8 @@ class StreamingReconstructor:
         self._refs: dict[PacketId, int] = {}
         self._max_sink_ms = -INF
         self._min_t0_ms = INF
-        self._executor: WindowExecutor | None = None
+        self._executor: WindowExecutor | None = executor
+        self._owns_executor = executor is None
         self._telemetries: list[WindowTelemetry] = []
         self._commits_out: list[CommittedWindow] = []
         self._degraded_constraints = 0
@@ -309,8 +319,9 @@ class StreamingReconstructor:
 
     def close(self) -> None:
         """Release the executor's pool (the executor object is retained
-        so :meth:`stats` still reports what actually ran)."""
-        if self._executor is not None:
+        so :meth:`stats` still reports what actually ran). An executor
+        injected at construction belongs to its owner and is left open."""
+        if self._executor is not None and self._owns_executor:
             self._executor.close()
 
     def __enter__(self) -> "StreamingReconstructor":

@@ -1,0 +1,155 @@
+"""Tests of the shared solver pool: routing, fairness, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.runtime.executor import WindowSolveSpec, execute_windows
+from repro.serve.pool import SharedSolverPool
+
+from tests.runtime.test_executor import _systems
+
+
+def _reference(systems):
+    report = execute_windows(systems, WindowSolveSpec())
+    return {r.window_index: r.estimates for r in report.results}
+
+
+def test_two_sessions_get_their_own_results_with_local_indices():
+    systems = _systems()
+    assert len(systems) >= 2
+    reference = _reference(systems)
+    pool = SharedSolverPool(WindowSolveSpec())
+    alice = pool.session("alice")
+    bob = pool.session("bob")
+    # Interleaved submissions; each session indexes its windows from 0.
+    a_map, b_map = {}, {}
+    for global_index, ws in enumerate(systems):
+        if global_index % 2 == 0:
+            alice.submit(len(a_map), ws)
+            a_map[len(a_map)] = global_index
+        else:
+            bob.submit(len(b_map), ws)
+            b_map[len(b_map)] = global_index
+    a_results = alice.drain(block=True)
+    b_results = bob.drain(block=True)
+    pool.close()
+    assert sorted(r.window_index for r in a_results) == sorted(a_map)
+    assert sorted(r.window_index for r in b_results) == sorted(b_map)
+    for results, mapping in ((a_results, a_map), (b_results, b_map)):
+        for result in results:
+            expected = reference[mapping[result.window_index]]
+            assert result.estimates == expected  # bit-identical floats
+
+
+def test_round_robin_keeps_a_small_stream_ahead_of_a_flood():
+    """A stream with 2 windows queued behind a stream with many must get
+    solver slots interleaved, not after the whole flood."""
+    systems = _systems(span_ms=500.0)  # many small windows
+    assert len(systems) >= 8
+    pool = SharedSolverPool(WindowSolveSpec())
+    dispatch_order = []
+    real_submit = pool._executor.submit
+
+    def recording_submit(ticket, ws):
+        dispatch_order.append(pool._routes[ticket][0])
+        real_submit(ticket, ws)
+
+    pool._executor.submit = recording_submit
+    flood = pool.session("flood")
+    trickle = pool.session("trickle")
+    for index, ws in enumerate(systems):
+        flood.submit(index, ws)
+    arrived_at = len(dispatch_order)
+    for index, ws in enumerate(systems[:2]):
+        trickle.submit(index, ws)
+    trickle.drain(block=True)
+    flood.drain(block=True)
+    pool.close()
+    after = dispatch_order[arrived_at:]
+    positions = [i for i, sid in enumerate(after) if sid == "trickle"]
+    assert len(positions) == 2
+    # Round-robin: both trickle windows dispatch within the first few
+    # slots after arriving, never behind the flood's whole backlog.
+    assert positions[-1] <= 4, dispatch_order
+
+
+def test_release_refuses_outstanding_work_then_succeeds_after_drain():
+    systems = _systems()
+    pool = SharedSolverPool(WindowSolveSpec())
+    facade = pool.session("s")
+    facade.submit(0, systems[0])
+    with pytest.raises(RuntimeError, match="outstanding"):
+        pool.release("s")
+    facade.drain(block=True)
+    pool.release("s")
+    assert pool.stats()["sessions"] == 0
+    with pytest.raises(ValueError, match="already registered"):
+        pool.session("t")._pool.session("t")
+    pool.close()
+
+
+def test_session_executor_proxies_executor_facts():
+    pool = SharedSolverPool(WindowSolveSpec())
+    facade = pool.session("s")
+    assert facade.mode == "serial"
+    assert facade.workers == 1
+    assert facade.fallback_reason is None
+    assert facade.in_flight == 0
+    facade.close()  # must be a no-op: the pool owns the executor
+    assert pool.stats()["sessions"] == 1
+    pool.close()
+
+
+def test_concurrent_sessions_from_threads_route_correctly():
+    """Session threads submit and blocking-drain concurrently; whoever
+    drains the executor, every result lands in its owner's mailbox."""
+    systems = _systems()
+    reference = _reference(systems)
+    pool = SharedSolverPool(WindowSolveSpec())
+    outcomes = {}
+    errors = []
+    lock = threading.Lock()
+
+    def worker(name, offset):
+        try:
+            facade = pool.session(name)
+            mapping = {}
+            for local, global_index in enumerate(
+                range(offset, len(systems), 2)
+            ):
+                facade.submit(local, systems[global_index])
+                mapping[local] = global_index
+            results = facade.drain(block=True)
+            with lock:
+                outcomes[name] = (mapping, results)
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(name, offset))
+        for offset, name in enumerate(("even", "odd"))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    pool.close()
+    assert not errors, errors
+    for name, (mapping, results) in outcomes.items():
+        assert sorted(r.window_index for r in results) == sorted(mapping)
+        for result in results:
+            assert result.estimates == reference[mapping[result.window_index]]
+
+
+def test_pool_registry_collects_solver_metrics():
+    systems = _systems()
+    pool = SharedSolverPool(WindowSolveSpec())
+    facade = pool.session("s")
+    for index, ws in enumerate(systems):
+        facade.submit(index, ws)
+    facade.drain(block=True)
+    pool.close()
+    snapshot = pool.registry.snapshot()
+    assert snapshot["counters"].get("executor.submitted") == len(systems)
+    assert snapshot["counters"].get("executor.drained") == len(systems)

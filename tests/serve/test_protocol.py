@@ -1,0 +1,140 @@
+"""Tests of the serve wire protocol: parsing, encoding, round-trips."""
+
+import json
+import math
+
+import pytest
+
+from repro.serve.protocol import (
+    CommandLine,
+    ProtocolError,
+    RecordLine,
+    arrival_key_of,
+    committed_window_to_json,
+    encode_record,
+    encode_response,
+    error_response,
+    estimate_key,
+    parse_line,
+)
+
+from tests.core.conftest import make_received
+
+
+def _packet():
+    packet, _ = make_received(3, 7, (3, 1, 0), (100.0, 110.5, 123.25), 17)
+    return packet
+
+
+def test_record_line_round_trips_through_the_wire_encoding():
+    packet = _packet()
+    wire = encode_record("sensors", packet)
+    assert wire.endswith(b"\n") and wire.count(b"\n") == 1
+    parsed = parse_line(wire.decode("utf-8"))
+    assert isinstance(parsed, RecordLine)
+    assert parsed.stream == "sensors"
+    assert parsed.packet == packet  # dataclass equality, float-exact
+
+
+def test_record_without_stream_key_lands_on_the_default_stream():
+    packet = _packet()
+    item = json.loads(encode_record("x", packet))
+    del item["stream"]
+    parsed = parse_line(json.dumps(item))
+    assert parsed.stream == "default"
+    assert parsed.packet == packet
+
+
+def test_command_lines_parse_case_insensitively():
+    parsed = parse_line("results sensors --since 3")
+    assert isinstance(parsed, CommandLine)
+    assert parsed.verb == "RESULTS"
+    assert parsed.args == ("sensors", "--since", "3")
+    assert parse_line("   \n") is None
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "{not json",
+        '{"id": [1]}',  # record missing fields
+        '{"stream": "", "id": [1, 2]}',  # empty stream id
+        '{"stream": "a b", "id": [1, 2]}',  # whitespace in stream id
+        '{"stream": 5, "id": [1, 2]}',  # non-string stream id
+    ],
+)
+def test_malformed_record_lines_raise_protocol_error(line):
+    with pytest.raises(ProtocolError):
+        parse_line(line)
+
+
+def test_overlong_stream_id_is_rejected():
+    with pytest.raises(ProtocolError):
+        parse_line(json.dumps({"stream": "s" * 129}))
+
+
+def test_encode_response_is_strict_json():
+    assert json.loads(encode_response({"ok": True})) == {"ok": True}
+    with pytest.raises(ValueError):
+        encode_response({"ok": True, "bad": float("nan")})
+    with pytest.raises(ValueError):
+        encode_response({"ok": True, "bad": math.inf})
+
+
+def test_error_response_shape():
+    reply = error_response("boom", stream="s", **{"async": True})
+    assert reply["ok"] is False
+    assert reply["error"] == "boom"
+    assert reply["async"] is True and reply["stream"] == "s"
+
+
+def test_estimate_key_round_trip():
+    from repro.core.records import ArrivalKey
+    from repro.sim.packet import PacketId
+
+    key = ArrivalKey(PacketId(12, 345), 2)
+    text = estimate_key(key)
+    assert text == "12:345:2"
+    assert arrival_key_of(text) == key
+    with pytest.raises(ProtocolError):
+        arrival_key_of("12:x:2")
+    with pytest.raises(ProtocolError):
+        arrival_key_of("12:3")
+
+
+def test_committed_window_estimates_survive_json_bit_for_bit():
+    """The parity contract: repr-based float serialization round-trips."""
+    from dataclasses import dataclass
+
+    from repro.core.records import ArrivalKey
+    from repro.core.windows import TimeWindow
+    from repro.sim.packet import PacketId
+
+    @dataclass
+    class FakeCommit:
+        solve_index: int
+        grid_index: int
+        window: TimeWindow
+        estimates: dict
+        num_estimates: int
+
+    # Awkward floats: results of real arithmetic, not round literals.
+    estimates = {
+        ArrivalKey(PacketId(1, i), 1): 100.0 / 3.0 + i * 0.1 for i in range(5)
+    }
+    row = committed_window_to_json(
+        FakeCommit(
+            solve_index=4,
+            grid_index=6,
+            window=TimeWindow(0.0, 10.0, 0.0, 5.0),
+            estimates=estimates,
+            num_estimates=len(estimates),
+        )
+    )
+    decoded = json.loads(json.dumps(row))
+    rebuilt = {
+        arrival_key_of(text): value
+        for text, value in decoded["estimates"].items()
+    }
+    assert rebuilt == estimates  # bit-identical floats
+    assert decoded["solve_index"] == 4 and decoded["num_estimates"] == 5

@@ -1,0 +1,311 @@
+"""End-to-end tests of the asyncio reconstruction server.
+
+Run a real server (unix socket, background thread) and speak the wire
+protocol through real sockets — parity, backpressure, admission,
+eviction, and the SIGTERM drain (as a subprocess, the way an operator
+would hit it).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+from repro.serve.client import connect
+from repro.serve.server import ReconstructionServer, run_in_thread
+from repro.sim import NetworkConfig, simulate_network
+
+
+def _packets(seed=7):
+    trace = simulate_network(
+        NetworkConfig(
+            num_nodes=16,
+            placement="grid",
+            duration_ms=20_000.0,
+            packet_period_ms=2_500.0,
+            seed=seed,
+        )
+    )
+    return sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+
+
+@pytest.fixture
+def sock_path(tmp_path):
+    return str(tmp_path / "domo.sock")
+
+
+def _serve(sock_path, **kwargs):
+    return run_in_thread(
+        ReconstructionServer(DomoConfig(), socket_path=sock_path, **kwargs)
+    )
+
+
+def test_concurrent_sharded_ingest_matches_batch_bit_for_bit(sock_path):
+    """The acceptance criterion: any sharding/interleaving across
+    concurrent connections yields batch-identical results."""
+    packets = _packets()
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    handle = _serve(sock_path)
+    try:
+        failures = []
+
+        def feed(shard):
+            try:
+                with connect(socket_path=sock_path) as client:
+                    client.send_packets(shard, stream="s")
+                    assert client.health()["ok"]
+                    failures.extend(client.async_errors)
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=feed, args=(packets[i::3],))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        with connect(socket_path=sock_path) as query:
+            reply = query.flush("s")
+            assert reply["ok"], reply
+            served = query.estimates("s")
+    finally:
+        report = handle.stop()
+    assert served == batch.estimates  # bit-identical floats
+    # The shutdown report is schema-valid with near-total coverage.
+    assert report.span_coverage >= 0.95
+    from repro.obs.report import validate_report
+
+    assert validate_report(report.to_dict()) == []
+
+
+def test_results_since_is_incremental(sock_path):
+    packets = _packets()
+    handle = _serve(sock_path)
+    try:
+        with connect(socket_path=sock_path) as client:
+            client.send_packets(packets, stream="s")
+            client.flush("s")
+            full = client.results("s")
+            assert full["ok"] and full["count"] >= 2
+            cursor = full["windows"][0]["solve_index"]
+            rest = client.results("s", since=cursor)
+            assert rest["count"] == full["count"] - 1
+            assert all(
+                w["solve_index"] > cursor for w in rest["windows"]
+            )
+            # Caught-up cursor: empty page, cursor unchanged.
+            done = client.results("s", since=full["last_solve_index"])
+            assert done["count"] == 0
+            assert done["last_solve_index"] == full["last_solve_index"]
+    finally:
+        handle.stop()
+
+
+def test_unknown_stream_and_bad_commands_get_error_lines(sock_path):
+    handle = _serve(sock_path)
+    try:
+        with connect(socket_path=sock_path) as client:
+            assert client.health()["ok"]
+            reply = client.results("nope")
+            assert not reply["ok"] and "unknown stream" in reply["error"]
+            reply = client.flush("nope")
+            assert not reply["ok"]
+            reply = client.command("FROBNICATE now")
+            assert not reply["ok"] and "unknown command" in reply["error"]
+            reply = client.command("RESULTS s --since elephants")
+            assert not reply["ok"]
+    finally:
+        handle.stop()
+
+
+def test_malformed_records_get_async_errors_without_killing_the_feed(
+    sock_path,
+):
+    packets = _packets()
+    handle = _serve(sock_path)
+    try:
+        with connect(socket_path=sock_path) as client:
+            client.send_packets(packets[:5], stream="s")
+            client._sock.sendall(b'{"garbage": true}\n')
+            client._sock.sendall(b"{not json at all\n")
+            client.send_packets(packets[5:10], stream="s")
+            reply = client.health()
+            assert reply["ok"]
+            assert len(client.async_errors) == 2
+            stats = client.stats()
+            assert stats["server"]["records_accepted"] == 10
+            assert stats["server"]["records_rejected"] == 2
+    finally:
+        handle.stop()
+
+
+def test_max_sessions_rejection_over_the_wire(sock_path):
+    packets = _packets()
+    handle = _serve(sock_path, max_sessions=1)
+    try:
+        with connect(socket_path=sock_path) as client:
+            client.send_packets(packets[:3], stream="allowed")
+            client.send_packets(packets[3:6], stream="refused")
+            reply = client.health()
+            assert reply["ok"]
+            assert len(client.async_errors) == 3
+            for error in client.async_errors:
+                assert "session limit reached" in error["error"]
+                assert error["stream"] == "refused"
+            stats = client.stats()
+            assert stats["sessions_rejected"] >= 1
+            assert "refused" not in stats["streams"]
+            # The connection and the admitted stream still work.
+            assert client.flush("allowed")["ok"]
+    finally:
+        handle.stop()
+
+
+def test_backpressure_bounds_the_queue_and_drops_nothing(sock_path):
+    """With a tiny queue and an artificially slow engine, the reader
+    parks instead of buffering unboundedly — queue depth stays at or
+    under capacity (observable via STATS) and every record sent is
+    eventually ingested."""
+    packets = _packets()
+    capacity = 4
+    handle = _serve(sock_path, queue_capacity=capacity, chunk=2)
+    server = handle.server
+    try:
+        with connect(socket_path=sock_path) as primer:
+            primer.send_packets(packets[:1], stream="s")
+            assert primer.health()["ok"]
+        lane = server._lanes["s"]
+        real_ingest = lane.session.ingest
+
+        def slow_ingest(batch):
+            time.sleep(0.01)
+            real_ingest(batch)
+
+        lane.session.ingest = slow_ingest
+
+        depths = []
+        stop = threading.Event()
+
+        def watch():
+            with connect(socket_path=sock_path) as monitor:
+                while not stop.is_set():
+                    stats = monitor.stats()
+                    entry = stats["streams"].get("s", {})
+                    depths.append(entry.get("queue_depth", 0))
+                    time.sleep(0.005)
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        try:
+            with connect(socket_path=sock_path) as feeder:
+                feeder.send_packets(packets[1:], stream="s")
+                assert feeder.health()["ok"]
+                assert feeder.async_errors == []
+        finally:
+            stop.set()
+            watcher.join()
+        with connect(socket_path=sock_path) as query:
+            query.flush("s")
+            stats = query.stats()
+    finally:
+        handle.stop()
+    assert max(depths) <= capacity, depths
+    assert max(depths) > 0, "backpressure never engaged"
+    assert stats["server"]["records_accepted"] == len(packets)
+    assert stats["server"]["records_rejected"] == 0
+    assert stats["streams"]["s"]["records_in"] == len(packets)
+
+
+def test_disconnect_evicts_and_results_stay_queryable(sock_path):
+    packets = _packets()
+    handle = _serve(sock_path)
+    server = handle.server
+    try:
+        with connect(socket_path=sock_path) as feeder:
+            feeder.send_packets(packets, stream="s")
+            assert feeder.health()["ok"]
+        # Last owner gone: the server flushes and drains the session.
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            if server.manager.get("s") and server.manager.get("s").drained:
+                break
+            time.sleep(0.05)
+        with connect(socket_path=sock_path) as query:
+            stats = query.stats()
+            assert stats["sessions_evicted"] == 1
+            assert stats["streams"]["s"]["drained"] is True
+            served = query.estimates("s")
+            assert served  # flushed results remain queryable
+            # New records for the drained stream are refused.
+            query.send_packets(packets[:1], stream="s")
+            assert query.health()["ok"]
+            assert any(
+                "drained" in e["error"] for e in query.async_errors
+            )
+    finally:
+        handle.stop()
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    assert served == batch.estimates  # eviction flush is still parity
+
+
+def test_sigterm_drains_every_open_window_and_writes_report(tmp_path):
+    """Operator-level drain: SIGTERM mid-ingest (connection still open,
+    nothing flushed) must seal/solve/commit every window and write a
+    valid run report before exit."""
+    packets = _packets()
+    sock = str(tmp_path / "drain.sock")
+    report_path = str(tmp_path / "report.json")
+    env = dict(os.environ)
+    repo_src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(repo_src)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", sock, "--metrics-out", report_path,
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.time() + 30.0
+        while not os.path.exists(sock):
+            assert time.time() < deadline, "server socket never appeared"
+            assert proc.poll() is None, proc.communicate()[1]
+            time.sleep(0.05)
+        client = connect(socket_path=sock)
+        client.send_packets(packets[::2], stream="a")
+        client.send_packets(packets[1::2], stream="b")
+        assert client.health()["ok"]  # sync: all records are ingested
+        proc.send_signal(signal.SIGTERM)
+        stderr = proc.communicate(timeout=120)[1]
+        assert proc.returncode == 0, stderr
+        client.close()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    with open(report_path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    from repro.obs.report import validate_report
+
+    assert validate_report(report) == []
+    assert report["command"] == "serve"
+    assert report["span_coverage"] >= 0.95
+    streams = report["stats"]["streams"]
+    assert set(streams) == {"a", "b"}
+    for entry in streams.values():
+        assert entry["drained"] is True
+        assert entry["backlog"] == 0
+        assert entry["windows_committed"] > 0
+    total = sum(e["records_in"] for e in streams.values())
+    assert total == len(packets)

@@ -234,3 +234,102 @@ def test_stream_follow_rejects_gzip_paths(capsys, tmp_path):
     assert "--follow" in err and "gzip" in err
     # The same gzip file is fine without --follow.
     assert main(["stream", str(path)]) == 0
+
+
+def test_version_flag_reports_package_version(capsys):
+    import re
+
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"domo {__version__}"
+    # The single source of truth: packaging metadata must agree.
+    with open("pyproject.toml", encoding="utf-8") as handle:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', handle.read(), re.MULTILINE
+        )
+    assert match and match.group(1) == __version__
+
+
+def test_follow_buffers_partial_lines_until_newline():
+    """A record cut mid-write must never be yielded as a truncated line:
+    feed the tail one byte at a time and check only whole lines emerge."""
+    from repro.cli import _follow_lines
+
+    text = '{"a": 1}\n{"b": 22}\n'
+
+    class ByteDribble:
+        def __init__(self, text):
+            self.pending = list(text)
+
+        def read(self, _size):
+            return self.pending.pop(0) if self.pending else ""
+
+    lines = list(
+        _follow_lines(
+            ByteDribble(text), poll_interval=1.0, idle_timeout=0.0,
+            sleep=lambda _s: None,
+        )
+    )
+    assert lines == ['{"a": 1}\n', '{"b": 22}\n']
+
+    # An unterminated final record is held back until the idle timeout,
+    # then yielded whole rather than dropped.
+    lines = list(
+        _follow_lines(
+            ByteDribble('{"a": 1}\n{"tail": 3}'),
+            poll_interval=1.0, idle_timeout=2.0, sleep=lambda _s: None,
+        )
+    )
+    assert lines == ['{"a": 1}\n', '{"tail": 3}']
+
+
+def test_stream_follow_ingests_records_appended_byte_by_byte(
+    capsys, tmp_path
+):
+    """End-to-end tail: a producer appending one byte at a time must not
+    corrupt records — the follow run commits exactly what a batch run
+    over the finished file does."""
+    import shutil
+    import threading
+
+    stream_path = tmp_path / "trace.jsonl"
+    code = main(
+        ["simulate", "--nodes", "16", "--duration", "20", "--period", "3",
+         "--seed", "2", "--save-stream", str(stream_path)]
+    )
+    assert code == 0
+    capsys.readouterr()
+
+    def committed_of(out):
+        return next(
+            line for line in out.splitlines()
+            if line.startswith("committed estimates")
+        )
+
+    code = main(["stream", str(stream_path)])
+    assert code == 0
+    expected = committed_of(capsys.readouterr().out)
+
+    grown_path = tmp_path / "grown.jsonl"
+    grown_path.write_text("", encoding="utf-8")
+    data = stream_path.read_bytes()
+
+    def producer():
+        with open(grown_path, "ab", buffering=0) as handle:
+            for offset in range(0, len(data)):
+                handle.write(data[offset:offset + 1])
+
+    writer = threading.Thread(target=producer)
+    writer.start()
+    try:
+        code = main(
+            ["stream", str(grown_path), "--follow",
+             "--poll-interval", "0.01", "--idle-timeout", "1"]
+        )
+    finally:
+        writer.join()
+    assert code == 0
+    assert committed_of(capsys.readouterr().out) == expected
