@@ -143,7 +143,12 @@ class SharedSolverPool:
     def submit(self, session_id: str, local_index: int, ws) -> None:
         """Queue one built window system for ``session_id``."""
         with self._lock:
-            lane = self._lanes[session_id]
+            lane = self._lanes.get(session_id)
+            if lane is None:
+                raise RuntimeError(
+                    f"session {session_id!r} is not registered with the "
+                    f"pool (never created, or already released)"
+                )
             lane.queued.append((local_index, ws))
         self._dispatch()
 
@@ -231,8 +236,11 @@ class SharedSolverPool:
                     drained = self._executor.drain(block=True)
                 if drained:
                     self._route(drained)
-            else:
-                time.sleep(_POLL_SLEEP_S)
+                    continue
+                # Tickets are resident but the executor had nothing
+                # pending: a concurrent drainer claimed our results and
+                # is still routing them. Back off instead of spinning.
+            time.sleep(_POLL_SLEEP_S)
 
     def in_flight(self, session_id: str) -> int:
         with self._lock:
@@ -270,6 +278,9 @@ class SharedSolverPool:
                 drained = self._executor.drain(block=True)
             if drained:
                 self._route(drained)
+            else:
+                # A concurrent poller holds our results; don't spin.
+                time.sleep(_POLL_SLEEP_S)
         with registry_scope(self.registry):
             self._executor.close()
 

@@ -55,6 +55,14 @@ from repro.serve.session import SessionLimitError, SessionManager, StreamSession
 
 __all__ = ["ReconstructionServer", "ServerHandle", "run_in_thread"]
 
+#: how long an orphaned stream waits for adoption before its eviction
+#: flush becomes the point of no return. A concurrent feeder whose
+#: first record lost a scheduling race to another connection's
+#: disconnect gets this window to adopt the stream; afterwards records
+#: are refused (with an error line) rather than racing the drain.
+#: Shutdown skips the grace entirely.
+_EVICT_GRACE_S = 0.25
+
 
 class _StreamLane:
     """Event-loop-side plumbing of one stream: queue, pump, engine lock."""
@@ -65,6 +73,14 @@ class _StreamLane:
         self.lock = asyncio.Lock()
         self.pump: asyncio.Task | None = None
         self.stopping = False
+        #: set (on the event loop) the moment an eviction flush starts,
+        #: so records racing the worker-thread drain are rejected up
+        #: front instead of being ingested into a drained engine.
+        self.draining = False
+        #: first ingest failure (e.g. a strict-validation rejection);
+        #: once set, the pump discards instead of ingesting and new
+        #: records are refused with an error naming this reason.
+        self.failed: str | None = None
 
 
 class ReconstructionServer:
@@ -130,6 +146,7 @@ class ReconstructionServer:
         self._next_conn_id = 0
         self._records_accepted = 0
         self._records_rejected = 0
+        self._records_dropped = 0
         self._connections_total = 0
         self._shutdown: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -269,18 +286,33 @@ class ReconstructionServer:
             for session in self.manager.disconnect(conn_id):
                 self._spawn(self._evict_when_drained(session))
 
+    async def _send(self, writer, payload: dict) -> None:
+        """Encode and write one response line, surviving bad payloads.
+
+        Strict JSON (``allow_nan=False``) refuses non-finite floats; if
+        a response ever contains one, the client must get an error line
+        naming the problem, not a silently closed socket.
+        """
+        try:
+            data = encode_response(payload)
+        except ValueError as exc:
+            data = encode_response(
+                error_response(
+                    f"response not serializable as strict JSON: {exc}"
+                )
+            )
+        writer.write(data)
+        await writer.drain()
+
     async def _serve_connection(self, conn_id: int, reader, writer) -> None:
         while True:
             try:
                 line = await reader.readline()
             except ValueError:
                 # Line longer than MAX_LINE_BYTES: unrecoverable framing.
-                writer.write(
-                    encode_response(
-                        error_response("line too long", fatal=True)
-                    )
+                await self._send(
+                    writer, error_response("line too long", fatal=True)
                 )
-                await writer.drain()
                 return
             if not line:
                 return  # EOF
@@ -291,10 +323,9 @@ class ReconstructionServer:
                     )
             except ProtocolError as exc:
                 self._records_rejected += 1
-                writer.write(
-                    encode_response(error_response(str(exc), **{"async": True}))
+                await self._send(
+                    writer, error_response(str(exc), **{"async": True})
                 )
-                await writer.drain()
                 continue
             if parsed is None:
                 continue
@@ -302,8 +333,7 @@ class ReconstructionServer:
                 await self._accept_record(conn_id, parsed, writer)
                 continue
             response = await self._handle_command(parsed)
-            writer.write(encode_response(response))
-            await writer.drain()
+            await self._send(writer, response)
             if parsed.verb == "QUIT":
                 return
 
@@ -314,27 +344,38 @@ class ReconstructionServer:
             lane = self._lane(record.stream)
         except SessionLimitError as exc:
             self._records_rejected += 1
-            writer.write(
-                encode_response(
-                    error_response(
-                        str(exc), stream=record.stream, **{"async": True}
-                    )
-                )
+            await self._send(
+                writer,
+                error_response(
+                    str(exc), stream=record.stream, **{"async": True}
+                ),
             )
-            await writer.drain()
             return
-        if lane.session.drained:
+        # ``draining`` covers the gap between the eviction decision (on
+        # this loop) and ``drained`` flipping at the end of the flush on
+        # a worker thread — records landing in that gap must be refused,
+        # not accepted and then silently lost to a drained engine.
+        if lane.draining or lane.session.drained:
             self._records_rejected += 1
-            writer.write(
-                encode_response(
-                    error_response(
-                        f"stream {record.stream!r} is drained",
-                        stream=record.stream,
-                        **{"async": True},
-                    )
-                )
+            await self._send(
+                writer,
+                error_response(
+                    f"stream {record.stream!r} is drained",
+                    stream=record.stream,
+                    **{"async": True},
+                ),
             )
-            await writer.drain()
+            return
+        if lane.failed is not None:
+            self._records_rejected += 1
+            await self._send(
+                writer,
+                error_response(
+                    f"stream {record.stream!r} failed: {lane.failed}",
+                    stream=record.stream,
+                    **{"async": True},
+                ),
+            )
             return
         lane.session.add_owner(conn_id)
         # The backpressure point: a full queue parks this reader (and
@@ -367,12 +408,23 @@ class ReconstructionServer:
     # ------------------------------------------------------------------
 
     async def _pump(self, lane: _StreamLane) -> None:
-        """Batch records off the stream queue into the engine."""
+        """Batch records off the stream queue into the engine.
+
+        An ingest that raises (e.g. a strict-validation rejection) must
+        not kill the pump: the lane is marked failed and the pump keeps
+        draining — discarding — so ``queue.join()``, eviction, and the
+        shutdown drain still complete instead of wedging behind a full
+        queue nobody consumes.
+        """
         while not lane.stopping:
             item = await lane.queue.get()
             if item is None:
                 lane.queue.task_done()
                 return
+            if lane.failed is not None:
+                self._records_dropped += 1
+                lane.queue.task_done()
+                continue
             batch = [item]
             while len(batch) < self.chunk:
                 try:
@@ -386,7 +438,16 @@ class ReconstructionServer:
                 batch.append(extra)
             try:
                 async with lane.lock:
-                    await asyncio.to_thread(lane.session.ingest, batch)
+                    # Re-check under the lock: an eviction flush may
+                    # have drained the engine while this batch waited.
+                    if lane.session.drained:
+                        self._records_dropped += len(batch)
+                    else:
+                        await asyncio.to_thread(lane.session.ingest, batch)
+            except Exception as exc:  # noqa: BLE001 - any engine error
+                lane.failed = f"{type(exc).__name__}: {exc}"
+                lane.session.mark_failed(lane.failed)
+                self._records_dropped += len(batch)
             finally:
                 # task_done only after ingest: queue.join() == "every
                 # record queued so far has reached the engine".
@@ -398,10 +459,24 @@ class ReconstructionServer:
         lane = self._lanes.get(session.stream_id)
         if lane is not None:
             await lane.queue.join()
+        # Adoption grace: another connection may be about to feed this
+        # stream (its first record merely lost a scheduling race to the
+        # disconnect that orphaned it). Shutdown cuts the grace short.
+        if self._shutdown is not None and not self._shutdown.is_set():
+            try:
+                await asyncio.wait_for(self._shutdown.wait(), _EVICT_GRACE_S)
+            except asyncio.TimeoutError:
+                pass
         # A new connection may have adopted the stream while we waited.
         if session.num_owners or session.drained:
             return
         if lane is not None:
+            # No await between the owner re-check and this flag, so no
+            # record can slip in between: everything arriving from here
+            # on is refused in _accept_record instead of racing the
+            # worker-thread flush below (which only sets ``drained`` at
+            # the very end).
+            lane.draining = True
             async with lane.lock:
                 await asyncio.to_thread(self.manager.evict, session)
         else:
@@ -478,12 +553,32 @@ class ReconstructionServer:
             return error_response(
                 f"unknown stream {stream_id!r}", stream=stream_id
             )
+        if lane is not None and lane.failed is not None:
+            return error_response(
+                f"stream {stream_id!r} failed: {lane.failed}",
+                stream=stream_id,
+            )
+        if session.drained:
+            # Already flushed by eviction/shutdown; the engine's solver
+            # lane is released, so don't flush again — just report.
+            return {
+                "ok": True,
+                "stream": stream_id,
+                "new_commits": 0,
+                "windows_committed": len(session.results),
+                "drained": True,
+            }
         if lane is not None:
             # Everything enqueued before this FLUSH reaches the engine
             # first, so the flush covers it.
             await lane.queue.join()
             async with lane.lock:
-                new_commits = await asyncio.to_thread(session.flush)
+                # An eviction may have drained the session while this
+                # command waited for the lock.
+                if session.drained:
+                    new_commits = 0
+                else:
+                    new_commits = await asyncio.to_thread(session.flush)
         else:
             new_commits = await asyncio.to_thread(session.flush)
         return {
@@ -491,6 +586,7 @@ class ReconstructionServer:
             "stream": stream_id,
             "new_commits": new_commits,
             "windows_committed": len(session.results),
+            "drained": session.drained,
         }
 
     # ------------------------------------------------------------------
@@ -504,12 +600,17 @@ class ReconstructionServer:
             if entry is not None:
                 entry["queue_depth"] = lane.queue.qsize()
                 entry["queue_capacity"] = self.queue_capacity
+                # lane.failed (pump-side) and the session's own failed
+                # (drain-side) record the same condition from different
+                # threads; surface whichever fired first.
+                entry["failed"] = lane.failed or entry.get("failed")
         stats["server"] = {
             "endpoints": list(self.endpoints),
             "connections_total": self._connections_total,
             "connections_open": len(self._conn_tasks),
             "records_accepted": self._records_accepted,
             "records_rejected": self._records_rejected,
+            "records_dropped": self._records_dropped,
             "chunk": self.chunk,
             "queue_capacity": self.queue_capacity,
         }

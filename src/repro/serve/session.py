@@ -62,6 +62,10 @@ class StreamSession:
         #: records accepted into the engine (ingest calls may batch).
         self.records_in = 0
         self.drained = False
+        #: first engine failure (ingest or flush raising), if any; a
+        #: failed session keeps its committed results queryable but
+        #: accepts no further records.
+        self.failed: str | None = None
         #: connections currently feeding this stream.
         self._owners: set[int] = set()
 
@@ -86,13 +90,31 @@ class StreamSession:
         return len(committed)
 
     def drain(self) -> None:
-        """Final flush + release of the solver lane (results kept)."""
+        """Final flush + release of the solver lane (results kept).
+
+        A broken engine (e.g. after a strict-validation rejection mid-
+        ingest) must not wedge the drain: the failure is recorded and
+        the session still ends up ``drained`` so eviction and shutdown
+        complete; the pool sweeps any leftover lane residue at close.
+        """
         if self.drained:
             return
-        self.flush()
+        try:
+            self.flush()
+        except Exception as exc:  # noqa: BLE001 - record, keep draining
+            self.mark_failed(f"{type(exc).__name__}: {exc}")
         self.engine.close()  # no-op on the injected executor, by design
-        self._pool.release(self.stream_id)
+        try:
+            self._pool.release(self.stream_id)
+        except RuntimeError:
+            if self.failed is None:
+                raise
         self.drained = True
+
+    def mark_failed(self, reason: str) -> None:
+        """Record the first engine failure (later ones keep the first)."""
+        if self.failed is None:
+            self.failed = reason
 
     def _absorb(self, committed) -> None:
         for cw in committed:
@@ -130,6 +152,7 @@ class StreamSession:
             "resident_packets": self.engine.resident_packets,
             "quarantined": self.engine.report.num_quarantined,
             "drained": self.drained,
+            "failed": self.failed,
             "owners": self.num_owners,
         }
 

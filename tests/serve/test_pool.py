@@ -153,3 +153,15 @@ def test_pool_registry_collects_solver_metrics():
     snapshot = pool.registry.snapshot()
     assert snapshot["counters"].get("executor.submitted") == len(systems)
     assert snapshot["counters"].get("executor.drained") == len(systems)
+
+
+def test_submit_after_release_raises_a_clear_error():
+    """A released lane must refuse new work with a named error, not the
+    bare KeyError that used to surface through FLUSH."""
+    systems = _systems()
+    pool = SharedSolverPool(WindowSolveSpec())
+    facade = pool.session("s")
+    pool.release("s")
+    with pytest.raises(RuntimeError, match="not registered"):
+        facade.submit(0, systems[0])
+    pool.close()

@@ -257,6 +257,133 @@ def test_disconnect_evicts_and_results_stay_queryable(sock_path):
     assert served == batch.estimates  # eviction flush is still parity
 
 
+def test_strict_validation_poison_fails_lane_without_wedging(sock_path):
+    """A parseable-but-invalid record under ``--validate strict`` raises
+    inside the engine, on the pump. The lane must fail closed — error
+    lines, discarding pump, clean FLUSH error — instead of killing the
+    pump and wedging backpressure, eviction, and shutdown forever."""
+    from repro.core.validation import ValidationConfig
+    from repro.serve.protocol import encode_record
+
+    packets = _packets()
+    config = DomoConfig(validation=ValidationConfig(mode="strict"))
+    handle = run_in_thread(
+        ReconstructionServer(
+            config, socket_path=sock_path, queue_capacity=4, chunk=2
+        )
+    )
+    try:
+        with connect(socket_path=sock_path) as client:
+            client.send_packets(packets[:5], stream="s")
+            assert client.health()["ok"]
+            # json.loads turns 1e999 into inf: the record parses on the
+            # wire but strict validation rejects it inside the engine.
+            row = json.loads(encode_record("s", packets[5]))
+            row["t0"] = 1e999
+            client._sock.sendall((json.dumps(row) + "\n").encode())
+            # A flood behind the poison: without failure handling the
+            # pump dies, the tiny queue fills, and this reader parks
+            # forever (the HEALTH below would never get a reply).
+            client.send_packets(packets[6:40], stream="s")
+            assert client.health()["ok"]
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                stats = client.stats()
+                if stats["streams"]["s"]["failed"]:
+                    break
+                time.sleep(0.02)
+            assert "TraceValidationError" in stats["streams"]["s"]["failed"]
+            # Records after the failure are refused with the reason.
+            client.send_packets(packets[40:41], stream="s")
+            assert client.health()["ok"]
+            assert any(
+                "failed" in e["error"] for e in client.async_errors
+            )
+            # FLUSH reports the failure instead of raising opaquely.
+            reply = client.flush("s")
+            assert not reply["ok"] and "failed" in reply["error"]
+    finally:
+        report = handle.stop()  # the regression: this must not wedge
+    assert report is not None
+
+
+def test_record_racing_an_eviction_is_refused_not_silently_lost(sock_path):
+    """The eviction flush runs on a worker thread and only flips
+    ``drained`` at the very end. A record arriving in that window must
+    get an error line (accounted loss), not be accepted and ingested
+    into the drained engine — and a later FLUSH must answer cleanly."""
+    packets = _packets()
+    handle = _serve(sock_path)
+    server = handle.server
+    try:
+        real_evict = server.manager.evict
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_evict(session):
+            started.set()
+            release.wait(30.0)
+            real_evict(session)
+
+        server.manager.evict = slow_evict
+        try:
+            with connect(socket_path=sock_path) as feeder:
+                feeder.send_packets(packets, stream="s")
+                assert feeder.health()["ok"]
+            # Last owner gone: eviction starts (and parks in slow_evict
+            # with the flush not yet run, drained still False).
+            assert started.wait(30.0)
+            with connect(socket_path=sock_path) as late:
+                late.send_packets(packets[:3], stream="s")
+                assert late.health()["ok"]
+                assert len(late.async_errors) == 3
+                assert all(
+                    "drained" in e["error"] for e in late.async_errors
+                )
+        finally:
+            release.set()
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            session = server.manager.get("s")
+            if session is not None and session.drained:
+                break
+            time.sleep(0.02)
+        with connect(socket_path=sock_path) as query:
+            reply = query.flush("s")  # no KeyError from a released lane
+            assert reply["ok"] and reply["drained"] is True
+            served = query.estimates("s")
+    finally:
+        handle.stop()
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    assert served == batch.estimates  # refused stragglers changed nothing
+
+
+def test_nonfinite_response_value_yields_error_line_not_dead_socket(
+    sock_path,
+):
+    packets = _packets()
+    handle = _serve(sock_path)
+    server = handle.server
+    try:
+        with connect(socket_path=sock_path) as client:
+            client.send_packets(packets, stream="s")
+            assert client.flush("s")["ok"]
+            session = server.manager.get("s")
+            row = session.results[0]
+            key = next(iter(row["estimates"]))
+            original = row["estimates"][key]
+            row["estimates"][key] = float("nan")
+            reply = client.results("s")
+            assert not reply["ok"]
+            assert "strict JSON" in reply["error"]
+            # The connection survives and recovers.
+            assert client.health()["ok"]
+            row["estimates"][key] = original
+            assert client.results("s")["ok"]
+    finally:
+        handle.stop()
+
+
 def test_sigterm_drains_every_open_window_and_writes_report(tmp_path):
     """Operator-level drain: SIGTERM mid-ingest (connection still open,
     nothing flushed) must seal/solve/commit every window and write a

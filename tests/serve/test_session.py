@@ -142,3 +142,23 @@ def test_manager_stats_shape():
     assert entry["owners"] == 1
     assert entry["drained"] is False
     manager.close()
+
+
+def test_drain_survives_a_failing_flush_and_still_releases():
+    """A broken engine (strict-validation rejection mid-stream) must not
+    wedge eviction or shutdown: drain records the failure, marks the
+    session drained, and manager.close() still completes."""
+    packets = _packets()
+    manager = SessionManager(DomoConfig())
+    session = manager.get_or_create("s")
+    session.ingest(packets[:30])
+
+    def exploding_flush():
+        raise ValueError("engine broken")
+
+    session.flush = exploding_flush
+    session.drain()
+    assert session.drained is True
+    assert "engine broken" in session.failed
+    assert manager.stats()["streams"]["s"]["failed"] == session.failed
+    manager.close()  # completes despite the failed session
