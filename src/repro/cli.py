@@ -418,9 +418,17 @@ def _cmd_stream(args) -> int:
         with StreamingReconstructor(
             config, lateness_ms=args.lateness_ms
         ) as engine:
+            # A producer killed mid-write leaves a torn final line; every
+            # mode except strict skips it and counts it in the report.
+            tail_kwargs = dict(
+                tolerate_truncated_tail=args.validate != "strict",
+                report=engine.report,
+            )
             try:
                 if args.path == "-":
-                    chunks = read_packets_jsonl_chunks(sys.stdin, args.chunk)
+                    chunks = read_packets_jsonl_chunks(
+                        sys.stdin, args.chunk, **tail_kwargs
+                    )
                     for chunk in _read_chunks(chunks):
                         engine.ingest(chunk)
                         consume(engine.poll())
@@ -438,12 +446,16 @@ def _cmd_stream(args) -> int:
                         lines = _follow_lines(
                             handle, args.poll_interval, args.idle_timeout
                         )
-                        chunks = read_packets_jsonl_chunks(lines, args.chunk)
+                        chunks = read_packets_jsonl_chunks(
+                            lines, args.chunk, **tail_kwargs
+                        )
                         for chunk in _read_chunks(chunks):
                             engine.ingest(chunk)
                             consume(engine.poll())
                 else:
-                    chunks = read_packets_jsonl_chunks(args.path, args.chunk)
+                    chunks = read_packets_jsonl_chunks(
+                        args.path, args.chunk, **tail_kwargs
+                    )
                     for chunk in _read_chunks(chunks):
                         engine.ingest(chunk)
                         consume(engine.poll())
@@ -465,13 +477,87 @@ def _cmd_stream(args) -> int:
     return _run_with_metrics(args, "stream", body)
 
 
+def _free_port(host: str) -> int:
+    """Bind-and-release a TCP port so ``--port 0`` resolves *before* the
+    first supervised spawn — every restarted child rebinds the same
+    address and clients can reconnect without rediscovery."""
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _serve_child_argv(args, *, port) -> list[str]:
+    """The child command line for ``--supervise``: the same serve
+    invocation, minus ``--supervise`` itself, with the port pinned."""
+    argv = [sys.executable, "-m", "repro.cli", "serve"]
+    if args.socket is not None:
+        argv += ["--socket", args.socket]
+    if port is not None:
+        argv += ["--host", args.host, "--port", str(port)]
+    argv += [
+        "--max-sessions", str(args.max_sessions),
+        "--lateness-ms", str(args.lateness_ms),
+        "--chunk", str(args.chunk),
+        "--queue-capacity", str(args.queue_capacity),
+        "--validate", args.validate,
+        "--adoption-grace-ms", str(args.adoption_grace_ms),
+    ]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    if args.wal_dir is not None:
+        argv += [
+            "--wal-dir", args.wal_dir,
+            "--fsync", args.fsync,
+            "--snapshot-interval", str(args.snapshot_interval),
+        ]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
+    return argv
+
+
+def _cmd_serve_supervised(args) -> int:
+    from repro.serve.durability.supervisor import CrashLoopError, Supervisor
+
+    port = args.port
+    if port == 0:
+        port = _free_port(args.host)
+        print(f"supervisor: resolved --port 0 to {port}", file=sys.stderr)
+    supervisor = Supervisor(
+        _serve_child_argv(args, port=port),
+        max_restarts=args.max_restarts,
+        backoff_s=args.backoff_ms / 1000.0,
+    )
+    try:
+        return supervisor.run()
+    except CrashLoopError as exc:
+        print(f"domo serve: CrashLoopError: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from repro.serve.durability import DurabilityConfig, WalCorruptionError
+    from repro.serve.durability.recovery import RecoveryError
     from repro.serve.server import ReconstructionServer
 
     if args.socket is None and args.port is None:
         raise ValueError("domo serve needs --socket and/or --port")
+    if args.supervise:
+        return _cmd_serve_supervised(args)
+
+    durability = None
+    if args.wal_dir is not None:
+        from pathlib import Path
+
+        durability = DurabilityConfig(
+            wal_dir=Path(args.wal_dir),
+            fsync=args.fsync,
+            snapshot_interval=args.snapshot_interval,
+        )
 
     def on_ready(server) -> None:
         for endpoint in server.endpoints:
@@ -489,10 +575,22 @@ def _cmd_serve(args) -> int:
         metrics_out=args.metrics_out,
         argv=list(sys.argv[1:]),
         on_ready=on_ready,
+        durability=durability,
+        adoption_grace_s=args.adoption_grace_ms / 1000.0,
     )
     # The server wraps itself in an isolated registry + root "run" span
     # and writes its own RunReport at drain, so no _run_with_metrics.
-    report = asyncio.run(server.run())
+    try:
+        report = asyncio.run(server.run())
+    except (WalCorruptionError, RecoveryError) as exc:
+        # Keep the exception's name in the one-line error: a supervisor
+        # breaker tripping on repeated boot failures carries this stderr
+        # tail, and "WalCorruptionError: ..." tells the operator what to
+        # fix where a bare message would not.
+        print(
+            f"domo: error: {type(exc).__name__}: {exc}", file=sys.stderr
+        )
+        return 2
     stats = report.stats
     print(
         f"drained: {stats.get('sessions', 0)} session(s), "
@@ -617,6 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve sealed windows on a process pool with this many "
              "workers (>1 enables parallel execution)")
     stream.add_argument(
+        "--validate", choices=("off", "strict", "repair", "drop"),
+        default="repair",
+        help="trace-ingestion validation mode (default: repair); strict "
+             "also refuses a truncated final JSONL line instead of "
+             "skipping and counting it")
+    stream.add_argument(
         "--verbose", action="store_true",
         help="log each window commit to stderr as it happens")
     _add_metrics_out(stream)
@@ -660,6 +764,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", choices=("off", "strict", "repair", "drop"),
         default="repair",
         help="ingest validation mode for every stream (default: repair)")
+    serve.add_argument(
+        "--wal-dir", type=str, default=None, metavar="DIR",
+        help="enable durability: write-ahead-log every ingest batch "
+             "under this directory and snapshot engine state, so a "
+             "killed server recovers every acknowledged record on "
+             "restart (one subdirectory per stream)")
+    serve.add_argument(
+        "--fsync", choices=("always", "interval", "never"),
+        default="interval",
+        help="WAL fsync policy (default interval: bounded-loss batching "
+             "of disk syncs; 'always' syncs every append; 'never' "
+             "still survives process death, not power loss)")
+    serve.add_argument(
+        "--snapshot-interval", type=int, default=256, metavar="N",
+        help="snapshot a stream's engine state every N WAL records so "
+             "recovery replays at most N records (default 256; 0 "
+             "disables periodic snapshots — recovery replays the "
+             "whole WAL)")
+    serve.add_argument(
+        "--adoption-grace-ms", type=float, default=250.0, metavar="MS",
+        help="how long a drained stream stays queryable for adoption "
+             "by a new connection before eviction (default 250)")
+    serve.add_argument(
+        "--supervise", action="store_true",
+        help="run the server in a supervised child process: restart it "
+             "on crash with exponential backoff, give up with a named "
+             "CrashLoopError when it keeps dying at boot (e.g. a "
+             "corrupt WAL)")
+    serve.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="with --supervise: consecutive fast failures tolerated "
+             "before the crash-loop breaker trips (default 5)")
+    serve.add_argument(
+        "--backoff-ms", type=float, default=200.0, metavar="MS",
+        help="with --supervise: base restart delay, doubled per "
+             "consecutive fast failure (default 200)")
     _add_metrics_out(serve)
     serve.set_defaults(handler=_cmd_serve)
     return parser

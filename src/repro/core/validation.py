@@ -112,6 +112,9 @@ class ValidationReport:
     #: malformed raw records dropped before packets even existed
     #: (filled by :func:`sanitize_trace_dict`).
     malformed_records: int = 0
+    #: truncated final JSONL lines skipped by the tolerant reader — the
+    #: torn write a crashed producer leaves at the end of a stream file.
+    truncated_lines: int = 0
 
     @property
     def num_quarantined(self) -> int:
@@ -123,7 +126,11 @@ class ValidationReport:
 
     @property
     def clean(self) -> bool:
-        return not self.issues and self.malformed_records == 0
+        return (
+            not self.issues
+            and self.malformed_records == 0
+            and self.truncated_lines == 0
+        )
 
     def reason_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -144,6 +151,7 @@ class ValidationReport:
             "quarantined_packets": self.num_quarantined,
             "distrusted_sums": self.num_distrusted,
             "malformed_records": self.malformed_records,
+            "truncated_lines": self.truncated_lines,
             "reason_counts": self.reason_counts(),
         }
 
@@ -153,6 +161,7 @@ class ValidationReport:
         self.quarantined.extend(other.quarantined)
         self.distrusted_sums.update(other.distrusted_sums)
         self.malformed_records += other.malformed_records
+        self.truncated_lines += other.truncated_lines
 
 
 # ----------------------------------------------------------------------

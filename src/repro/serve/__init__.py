@@ -2,14 +2,24 @@
 
 Layering (each module only imports downward)::
 
-    server   asyncio listeners, readers, pumps, drain-on-SIGTERM
-    session  per-stream engine + registry + result log; admission
-    pool     fair multiplexing of many engines onto one WindowExecutor
-    protocol newline-delimited records/commands, strict-JSON replies
-    client   synchronous helper speaking the protocol (demo, CI, tests)
+    supervisor parent process: restart-on-crash, backoff, breaker
+    server     asyncio listeners, readers, pumps, drain-on-SIGTERM
+    session    per-stream engine + registry + result log; admission,
+               WAL logging, snapshots, crash recovery
+    durability WAL segments, atomic snapshots, crashpoints
+    pool       fair multiplexing of many engines onto one WindowExecutor
+    protocol   newline-delimited records/commands, strict-JSON replies
+    client     synchronous helper speaking the protocol (demo, CI,
+               tests) with reconnect + resume-from-durable-offset
 """
 
 from repro.serve.client import ServeClient, connect
+from repro.serve.durability import DurabilityConfig, WalCorruptionError
+from repro.serve.durability.recovery import (
+    RecoveryError,
+    SnapshotConfigMismatchError,
+)
+from repro.serve.durability.supervisor import CrashLoopError, Supervisor
 from repro.serve.pool import SessionExecutor, SharedSolverPool
 from repro.serve.protocol import DEFAULT_STREAM, ProtocolError
 from repro.serve.server import ReconstructionServer, ServerHandle, run_in_thread
@@ -17,15 +27,21 @@ from repro.serve.session import SessionLimitError, SessionManager, StreamSession
 
 __all__ = [
     "DEFAULT_STREAM",
+    "CrashLoopError",
+    "DurabilityConfig",
     "ProtocolError",
     "ReconstructionServer",
+    "RecoveryError",
     "ServeClient",
     "ServerHandle",
     "SessionExecutor",
     "SessionLimitError",
     "SessionManager",
     "SharedSolverPool",
+    "SnapshotConfigMismatchError",
     "StreamSession",
+    "Supervisor",
+    "WalCorruptionError",
     "connect",
     "run_in_thread",
 ]

@@ -1,0 +1,93 @@
+"""Durability layer for the serve tier: WAL, snapshots, supervision.
+
+The contract, end to end:
+
+1. every accepted ingest batch (and every flush boundary) is appended
+   to a per-stream write-ahead log *before* it touches the engine
+   (:mod:`repro.serve.durability.wal`);
+2. periodically the quiesced engine + session state is snapshotted
+   atomically with the WAL cursor it is current through
+   (:mod:`repro.serve.durability.snapshot`);
+3. after a crash, recovery loads the newest valid snapshot and replays
+   the WAL suffix with identical batching and flush boundaries,
+   reproducing the pre-crash results bit-exactly
+   (:mod:`repro.serve.durability.recovery`);
+4. a parent-process supervisor restarts the server on crash with
+   exponential backoff and a crash-loop circuit breaker
+   (:mod:`repro.serve.durability.supervisor`);
+5. the whole stack is tested by SIGKILLing real server processes at
+   seeded fault points (:mod:`repro.serve.durability.crashpoints`,
+   driven by ``tests/serve/crash_harness.py``).
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serve.durability.snapshot import (
+    SNAPSHOT_SCHEMA,
+    load_latest_snapshot,
+    prune_snapshots,
+    write_snapshot,
+)
+from repro.serve.durability.wal import (
+    FSYNC_POLICIES,
+    WalCorruptionError,
+    WalWriter,
+    iter_wal,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "SNAPSHOT_SCHEMA",
+    "DurabilityConfig",
+    "WalCorruptionError",
+    "WalWriter",
+    "iter_wal",
+    "load_latest_snapshot",
+    "prune_snapshots",
+    "stream_state_dir",
+    "write_snapshot",
+]
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Operator-facing knobs for the serve tier's durability layer."""
+
+    #: root directory holding one state subdirectory per stream.
+    wal_dir: Path
+    #: WAL fsync policy: "always", "interval" or "never".
+    fsync: str = "interval"
+    #: minimum seconds between fsyncs under the "interval" policy.
+    fsync_interval_s: float = 0.05
+    #: rotate WAL segments once they exceed this many bytes.
+    segment_bytes: int = 4 << 20
+    #: snapshot every N WAL records (0 disables periodic snapshots;
+    #: one is still taken at graceful drain).
+    snapshot_interval: int = 256
+    #: snapshot generations retained per stream.
+    keep_snapshots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy {self.fsync!r} not in {FSYNC_POLICIES}"
+            )
+        if self.snapshot_interval < 0:
+            raise ValueError("snapshot_interval must be >= 0")
+        if self.keep_snapshots < 1:
+            raise ValueError("keep_snapshots must be >= 1")
+        object.__setattr__(self, "wal_dir", Path(self.wal_dir))
+
+
+def stream_state_dir(wal_dir: str | Path, stream_id: str) -> Path:
+    """Filesystem directory holding one stream's WAL + snapshots.
+
+    Stream ids are client-chosen strings; percent-encoding (with no
+    safe characters) makes any id a single flat path component, so
+    ``../`` or ``/`` in an id cannot escape the WAL root.
+    """
+    return Path(wal_dir) / urllib.parse.quote(stream_id, safe="")

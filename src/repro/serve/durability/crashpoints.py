@@ -1,0 +1,109 @@
+"""Seeded SIGKILL fault injection for the durability crash harness.
+
+A *crash point* is a named call site inside the durability layer (WAL
+append, engine ingest, snapshot rename, ...). The crash harness arms
+points through the environment and the server process SIGKILLs *itself*
+when an armed point's invocation counter hits its seed — a real crash,
+not an exception: no ``finally`` blocks run, no buffers flush, no
+graceful drain happens. Recovery has to cope with exactly what was on
+disk at that instant.
+
+Environment contract::
+
+    DOMO_CRASHPOINTS      semicolon-separated groups, one per process
+                          incarnation; each group is a comma-separated
+                          list of ``name:n`` entries ("kill the process
+                          at the n-th invocation of point ``name``").
+    DOMO_CRASH_INCARNATION  which group applies to this process
+                          (0-based; the supervisor increments it on
+                          every restart so a crash seeded for the first
+                          incarnation does not re-fire forever and turn
+                          a seeded kill into a crash loop).
+
+An incarnation beyond the group list (or an unset variable) disarms
+everything, so production processes pay one dict lookup per point.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+__all__ = ["armed", "die", "fire", "maybe_crash", "reset"]
+
+_spec: dict[str, int] | None = None
+_counts: dict[str, int] = {}
+
+
+def _parse_env() -> dict[str, int]:
+    raw = os.environ.get("DOMO_CRASHPOINTS", "")
+    if not raw.strip():
+        return {}
+    groups = raw.split(";")
+    try:
+        incarnation = int(os.environ.get("DOMO_CRASH_INCARNATION", "0"))
+    except ValueError:
+        incarnation = 0
+    if incarnation < 0 or incarnation >= len(groups):
+        return {}
+    spec: dict[str, int] = {}
+    for entry in groups[incarnation].split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, count = entry.partition(":")
+        try:
+            spec[name.strip()] = max(1, int(count))
+        except ValueError:
+            raise ValueError(
+                f"malformed DOMO_CRASHPOINTS entry {entry!r} "
+                f"(expected 'name:n')"
+            ) from None
+    return spec
+
+
+def _load() -> dict[str, int]:
+    global _spec
+    if _spec is None:
+        _spec = _parse_env()
+    return _spec
+
+
+def reset() -> None:
+    """Re-read the environment and zero the counters (tests only)."""
+    global _spec
+    _spec = None
+    _counts.clear()
+
+
+def armed(name: str) -> bool:
+    """Whether ``name`` is armed for this process incarnation."""
+    return name in _load()
+
+
+def fire(name: str) -> bool:
+    """Count one invocation of ``name``; True when this one is the seed.
+
+    The caller decides what "crashing here" means — :func:`maybe_crash`
+    just dies, while the WAL's torn-tail point writes half a record
+    first so the on-disk state is a genuine mid-append tear.
+    """
+    target = _load().get(name)
+    if target is None:
+        return False
+    _counts[name] = _counts.get(name, 0) + 1
+    return _counts[name] == target
+
+
+def die() -> None:
+    """SIGKILL this process. Never returns."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    while True:  # pragma: no cover - the signal always wins
+        time.sleep(1.0)
+
+
+def maybe_crash(name: str) -> None:
+    """SIGKILL the process when this is the seeded invocation of ``name``."""
+    if fire(name):
+        die()

@@ -1,0 +1,194 @@
+"""Per-stream durability handle and the WAL record vocabulary.
+
+:class:`StreamDurability` is what a live session holds: the stream's
+:class:`~repro.serve.durability.wal.WalWriter`, the snapshot cadence
+bookkeeping, and the durable-record counter clients use to resume
+(``RESULTS`` reports ``records_durable``; after a server restart a
+client resends its trace from that offset and nothing is lost or
+double-ingested).
+
+The WAL carries two record types, both JSON:
+
+``{"t": "batch", "packets": [...]}``
+    one accepted ingest batch, in the JSONL trace-record shape. Batches
+    are logged **as batches**, not per packet, because replay must
+    re-ingest with the exact same chunking: the engine's S(p)-budget
+    validation judges each chunk against a running prefix-min t0
+    reference, so different batching could validate differently and
+    break bit-exact recovery.
+
+``{"t": "flush"}``
+    a flush boundary (client FLUSH, eviction, or shutdown drain),
+    logged *before* the engine flush executes — write-ahead — so replay
+    re-seals windows at the identical record boundary.
+
+Recovery itself lives on
+:meth:`repro.serve.session.SessionManager.recover_all`, which rebuilds
+each stream from its newest valid snapshot plus the replayed WAL
+suffix; this module supplies the pieces (decode, config signature,
+errors) that both sides share.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+from repro.serve.durability import DurabilityConfig, stream_state_dir
+from repro.serve.durability.snapshot import (
+    prune_snapshots,
+    snapshot_files,
+    write_snapshot,
+)
+from repro.serve.durability.wal import WalCorruptionError, WalWriter, iter_wal
+
+__all__ = [
+    "RecoveryError",
+    "SnapshotConfigMismatchError",
+    "StreamDurability",
+    "config_signature",
+    "decode_wal_record",
+    "iter_wal_batches",
+]
+
+BATCH_RECORD = "batch"
+FLUSH_RECORD = "flush"
+
+
+class RecoveryError(RuntimeError):
+    """Crash recovery cannot proceed (the message names why)."""
+
+
+class SnapshotConfigMismatchError(RecoveryError):
+    """A snapshot was taken under a different reconstruction config.
+
+    Restoring it would resume solving with constraints the snapshot's
+    open windows were not built for; the operator must either restore
+    the original config or clear the stream's state directory.
+    """
+
+
+def config_signature(config, lateness_ms: float) -> str:
+    """Stable digest of everything that shapes a stream's results.
+
+    Snapshots embed this; recovery refuses a snapshot whose signature
+    differs from the serving config instead of silently mixing
+    incompatible solver settings into half-restored state.
+    """
+    blob = json.dumps(
+        {"config": asdict(config), "lateness_ms": repr(float(lateness_ms))},
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def decode_wal_record(payload: bytes, index: int) -> dict:
+    """One WAL payload back to its record dict (validating the shape)."""
+    try:
+        record = json.loads(payload)
+    except ValueError as exc:
+        raise WalCorruptionError(
+            f"WAL record {index} is not valid JSON: {exc}"
+        ) from exc
+    kind = record.get("t") if isinstance(record, dict) else None
+    if kind not in (BATCH_RECORD, FLUSH_RECORD):
+        raise WalCorruptionError(
+            f"WAL record {index} has unknown type {kind!r}"
+        )
+    return record
+
+
+def iter_wal_batches(stream_dir, start_index: int = 0):
+    """Yield ``(index, record_dict)`` for replay, decoded and validated."""
+    for index, payload in iter_wal(stream_dir, start_index):
+        yield index, decode_wal_record(payload, index)
+
+
+class StreamDurability:
+    """One stream's write-ahead log + snapshot cadence bookkeeping."""
+
+    def __init__(
+        self,
+        config: DurabilityConfig,
+        stream_id: str,
+        config_sig: str,
+    ) -> None:
+        from repro.sim.io import packet_to_json
+
+        self._packet_to_json = packet_to_json
+        self.config = config
+        self.stream_id = stream_id
+        self.config_sig = config_sig
+        self.stream_dir = stream_state_dir(config.wal_dir, stream_id)
+        # Opening the writer validates the log and truncates a torn
+        # tail; mid-log corruption raises here, before any serving.
+        self.wal = WalWriter(
+            self.stream_dir,
+            fsync=config.fsync,
+            fsync_interval_s=config.fsync_interval_s,
+            segment_bytes=config.segment_bytes,
+        )
+        #: WAL cursor of the newest snapshot (cadence reference).
+        self.last_snapshot_cursor = 0
+        #: packets whose batch record is in the WAL — the resume offset
+        #: clients read back as ``records_durable``.
+        self.records_durable = 0
+
+    @property
+    def wal_cursor(self) -> int:
+        """WAL records written so far (the next record's index)."""
+        return self.wal.next_index
+
+    # -- write-ahead logging (live path) --------------------------------
+
+    def log_batch(self, packets) -> None:
+        payload = json.dumps(
+            {
+                "t": BATCH_RECORD,
+                "packets": [self._packet_to_json(p) for p in packets],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self.wal.append(payload)
+        self.records_durable += len(packets)
+
+    def log_flush(self) -> None:
+        payload = json.dumps({"t": FLUSH_RECORD}).encode("utf-8")
+        self.wal.append(payload)
+        # A flush boundary is a promise about results clients may read
+        # immediately after; make it durable regardless of fsync cadence
+        # (the "never" policy opts out of fsync entirely, even here).
+        if self.config.fsync != "never":
+            self.wal.sync(force=True)
+
+    # -- snapshots -------------------------------------------------------
+
+    def due_for_snapshot(self) -> bool:
+        interval = self.config.snapshot_interval
+        return (
+            interval > 0
+            and self.wal_cursor - self.last_snapshot_cursor >= interval
+        )
+
+    def save_snapshot(self, document: dict) -> None:
+        """Persist a snapshot at the current WAL cursor and prune.
+
+        The WAL is fsynced first so the snapshot never claims to be
+        current through records the kernel still holds in page cache;
+        then older snapshot generations beyond ``keep_snapshots`` are
+        dropped and WAL segments wholly before the *oldest retained*
+        snapshot (still needed as its replay base) are deleted.
+        """
+        if self.config.fsync != "never":
+            self.wal.sync(force=True)
+        write_snapshot(self.stream_dir, document)
+        self.last_snapshot_cursor = document["wal_cursor"]
+        prune_snapshots(self.stream_dir, keep=self.config.keep_snapshots)
+        kept = snapshot_files(self.stream_dir)
+        if kept:
+            self.wal.prune_through(kept[0][0])
+
+    def close(self) -> None:
+        self.wal.close()

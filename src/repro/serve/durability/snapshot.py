@@ -1,0 +1,141 @@
+"""Atomic snapshot store for per-stream recovery state.
+
+A snapshot is one strict-JSON document capturing everything a
+:class:`~repro.stream.engine.StreamingReconstructor` session needs to
+resume bit-exactly: the engine's exported state (open-window slots,
+packet table, watermark, telemetry), the session's committed results,
+and the WAL cursor the state is current *through*. Recovery loads the
+newest valid snapshot and replays only the WAL suffix past its cursor.
+
+Files are ``snap-<wal_cursor:012d>.json`` in the same per-stream
+directory as the WAL segments. Writes are atomic — temp file in the
+same directory, fsync, ``os.replace``, directory fsync — so a SIGKILL
+at any instant leaves either the previous snapshot set intact or the
+new file fully present; never a half-written ``snap-*.json``. Loading
+skips unparseable or wrong-schema files (a leftover temp file or a
+snapshot from a future format is ignored, not fatal) because the WAL,
+not the snapshot, is the source of truth: the worst case of a lost
+snapshot is a longer replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.serve.durability import crashpoints
+from repro.serve.durability.wal import _fsync_dir
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "load_latest_snapshot",
+    "prune_snapshots",
+    "snapshot_name",
+    "write_snapshot",
+]
+
+SNAPSHOT_SCHEMA = "domo.snapshot/1"
+
+_PREFIX = "snap-"
+_SUFFIX = ".json"
+
+
+def snapshot_name(wal_cursor: int) -> str:
+    return f"{_PREFIX}{wal_cursor:012d}{_SUFFIX}"
+
+
+def snapshot_files(stream_dir: str | Path) -> list[tuple[int, Path]]:
+    """``(wal_cursor, path)`` of every snapshot file, oldest first.
+
+    Files whose name does not parse are ignored (e.g. an editor backup);
+    they are not evidence of corruption the way a bad WAL segment is.
+    """
+    stream_dir = Path(stream_dir)
+    found = []
+    if not stream_dir.is_dir():
+        return found
+    for entry in stream_dir.iterdir():
+        name = entry.name
+        if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+            continue
+        try:
+            cursor = int(name[len(_PREFIX):-len(_SUFFIX)])
+        except ValueError:
+            continue
+        found.append((cursor, entry))
+    found.sort()
+    return found
+
+
+def write_snapshot(stream_dir: str | Path, document: dict) -> Path:
+    """Atomically persist ``document`` as the snapshot at its WAL cursor.
+
+    ``document`` must carry integer ``wal_cursor`` and the current
+    ``schema`` tag (enforced here so every snapshot on disk is
+    self-describing). The temp-write / rename split is also the
+    harness's mid-snapshot kill point: dying between the two must leave
+    recovery reading the *previous* snapshot generation.
+    """
+    stream_dir = Path(stream_dir)
+    stream_dir.mkdir(parents=True, exist_ok=True)
+    if document.get("schema") != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"snapshot document schema {document.get('schema')!r} != "
+            f"{SNAPSHOT_SCHEMA!r}"
+        )
+    cursor = document["wal_cursor"]
+    if not isinstance(cursor, int) or cursor < 0:
+        raise ValueError(f"snapshot wal_cursor {cursor!r} must be an int >= 0")
+    final = stream_dir / snapshot_name(cursor)
+    temp = stream_dir / f".{snapshot_name(cursor)}.tmp"
+    payload = json.dumps(
+        document, allow_nan=False, separators=(",", ":"), sort_keys=True
+    )
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    crashpoints.maybe_crash("snapshot")
+    os.replace(temp, final)
+    _fsync_dir(stream_dir)
+    return final
+
+
+def load_latest_snapshot(stream_dir: str | Path) -> dict | None:
+    """Newest snapshot document that parses and matches the schema.
+
+    Invalid candidates are skipped, newest-first, rather than raised:
+    a torn temp file never reaches a ``snap-*`` name (rename is atomic),
+    so an unreadable snapshot means external damage — and the correct
+    response is to fall back to an older generation and replay more WAL.
+    Returns ``None`` when no usable snapshot exists.
+    """
+    for cursor, path in reversed(snapshot_files(stream_dir)):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if (
+            isinstance(document, dict)
+            and document.get("schema") == SNAPSHOT_SCHEMA
+            and document.get("wal_cursor") == cursor
+        ):
+            return document
+    return None
+
+
+def prune_snapshots(stream_dir: str | Path, keep: int = 2) -> int:
+    """Delete all but the newest ``keep`` snapshots; returns how many.
+
+    Two generations are kept by default so a crash *during* pruning (or
+    an externally damaged newest file) still leaves a fallback.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    files = snapshot_files(stream_dir)
+    removed = 0
+    for _, path in files[:-keep] if len(files) > keep else []:
+        path.unlink()
+        removed += 1
+    return removed

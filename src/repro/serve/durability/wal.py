@@ -1,0 +1,350 @@
+"""Append-only per-stream write-ahead log with CRC-checked records.
+
+Wire format — a WAL lives in one directory per stream and consists of
+numbered segment files::
+
+    wal-000000000000.seg        first record index 0
+    wal-000000000137.seg        first record index 137
+    ...
+
+Each segment is a plain concatenation of records; each record is::
+
+    +--------------+--------------+----------------+
+    | length  (u32 | crc32   (u32 | payload        |
+    |  big-endian) |  of payload) | (length bytes) |
+    +--------------+--------------+----------------+
+
+Records carry opaque payload bytes (the durability layer stores one JSON
+document per record: an ingest batch or a flush marker). Writes are
+append-only and a record is written in a single ``write`` call, so the
+only states a SIGKILL can leave behind are "record fully present" or
+"record cut short at the end of the last segment" — the **torn tail**.
+
+Read-side contract (what recovery relies on):
+
+* a short or cut-off record at the end of the *last* segment is a clean
+  stop — :func:`iter_wal` simply ends there (the write never completed,
+  so the record was never durable and its data is the sender's to
+  resend);
+* a CRC mismatch on a complete record, a cut-off record that is *not*
+  at the tail, or a gap in the record numbering is **corruption** and
+  raises :class:`WalCorruptionError` — replaying past silently lost or
+  altered history would fabricate results, so the server must refuse to
+  start and let the supervisor's circuit breaker surface the log path.
+
+Write-side, :class:`WalWriter` truncates any torn tail when it reopens
+an existing log (so new appends never land behind garbage), rotates to
+a new segment once the current one exceeds ``segment_bytes``, and
+offers three fsync policies: ``always`` (fsync every append — maximum
+durability, slowest), ``interval`` (fsync when at least
+``fsync_interval_s`` elapsed since the last one — bounded data loss),
+and ``never`` (leave flushing to the OS — crash-safe against process
+death like SIGKILL, but not against power loss).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import zlib
+from pathlib import Path
+
+from repro.serve.durability import crashpoints
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalCorruptionError",
+    "WalWriter",
+    "iter_wal",
+    "wal_segments",
+]
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_HEADER = struct.Struct(">II")
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+#: sanity cap on a single record; a length prefix above this is treated
+#: as corruption rather than an instruction to wait for 4 GiB of tail.
+MAX_RECORD_BYTES = 64 << 20
+
+
+class WalCorruptionError(ValueError):
+    """The log's *middle* is damaged (bad CRC, gap, mid-log tear)."""
+
+
+def segment_name(first_index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_index:012d}{_SEGMENT_SUFFIX}"
+
+
+def wal_segments(stream_dir: str | Path) -> list[tuple[int, Path]]:
+    """``(first_record_index, path)`` of every segment, in index order."""
+    stream_dir = Path(stream_dir)
+    segments = []
+    if not stream_dir.is_dir():
+        return segments
+    for entry in stream_dir.iterdir():
+        name = entry.name
+        if not (
+            name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+        ):
+            continue
+        digits = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        try:
+            first = int(digits)
+        except ValueError:
+            raise WalCorruptionError(
+                f"unparseable WAL segment name {name!r} in {stream_dir}"
+            ) from None
+        segments.append((first, entry))
+    segments.sort()
+    return segments
+
+
+def _scan_segment(raw: bytes, path: Path) -> tuple[list[bytes], int, str]:
+    """Parse one segment: ``(payloads, valid_end_offset, tail_reason)``.
+
+    ``tail_reason`` is empty when the segment ends exactly on a record
+    boundary, else a description of the incomplete tail record (whose
+    bytes start at ``valid_end_offset``). A complete record with a bad
+    CRC raises :class:`WalCorruptionError` outright — that is damage,
+    not an interrupted append.
+    """
+    payloads: list[bytes] = []
+    offset = 0
+    total = len(raw)
+    while offset < total:
+        if total - offset < _HEADER.size:
+            return payloads, offset, (
+                f"torn record header ({total - offset} of "
+                f"{_HEADER.size} bytes) at offset {offset} of {path.name}"
+            )
+        length, crc = _HEADER.unpack_from(raw, offset)
+        if length > MAX_RECORD_BYTES:
+            raise WalCorruptionError(
+                f"record at offset {offset} of {path} declares "
+                f"{length} bytes (cap {MAX_RECORD_BYTES}); "
+                f"the length prefix is corrupt"
+            )
+        body_start = offset + _HEADER.size
+        if body_start + length > total:
+            return payloads, offset, (
+                f"torn record payload ({total - body_start} of {length} "
+                f"bytes) at offset {offset} of {path.name}"
+            )
+        payload = raw[body_start:body_start + length]
+        if zlib.crc32(payload) != crc:
+            raise WalCorruptionError(
+                f"CRC mismatch in record #{len(payloads)} at offset "
+                f"{offset} of {path}: the log is damaged mid-history "
+                f"and cannot be replayed truthfully"
+            )
+        payloads.append(payload)
+        offset = body_start + length
+    return payloads, offset, ""
+
+
+def iter_wal(stream_dir: str | Path, start_index: int = 0):
+    """Yield ``(record_index, payload)`` from ``start_index`` onward.
+
+    Stops cleanly at a torn tail of the last segment; raises
+    :class:`WalCorruptionError` on any damage before that point,
+    including record-index gaps between segments.
+    """
+    segments = wal_segments(stream_dir)
+    expected = None
+    for position, (first, path) in enumerate(segments):
+        last = position == len(segments) - 1
+        if expected is not None and first != expected:
+            raise WalCorruptionError(
+                f"WAL segment {path.name} starts at record {first}, "
+                f"expected {expected}: a segment is missing or renamed"
+            )
+        payloads, _, tail_reason = _scan_segment(path.read_bytes(), path)
+        if tail_reason and not last:
+            raise WalCorruptionError(
+                f"{tail_reason} — but {path.name} is not the final "
+                f"segment, so this is mid-log damage, not a torn tail"
+            )
+        for offset, payload in enumerate(payloads):
+            index = first + offset
+            if index >= start_index:
+                yield index, payload
+        expected = first + len(payloads)
+
+
+class WalWriter:
+    """Appender for one stream's WAL directory.
+
+    Reopening an existing log truncates a torn tail (the incomplete
+    record a crashed predecessor left behind) so the next append starts
+    on a clean record boundary, and continues the record numbering where
+    the valid history ends.
+    """
+
+    def __init__(
+        self,
+        stream_dir: str | Path,
+        *,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        segment_bytes: int = 4 << 20,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy {fsync!r} not in {FSYNC_POLICIES}"
+            )
+        if fsync_interval_s < 0.0 or segment_bytes < 1:
+            raise ValueError(
+                "fsync_interval_s must be >= 0 and segment_bytes >= 1"
+            )
+        self.stream_dir = Path(stream_dir)
+        self.fsync_policy = fsync
+        self.fsync_interval_s = float(fsync_interval_s)
+        self.segment_bytes = int(segment_bytes)
+        self.records_truncated = 0
+        self._last_sync = time.monotonic()
+        self._file = None
+        self._segment_size = 0
+        self.stream_dir.mkdir(parents=True, exist_ok=True)
+        self._next_index = self._recover_tail()
+
+    # -- construction-time recovery ------------------------------------
+
+    def _recover_tail(self) -> int:
+        """Validate existing segments, truncate a torn tail, and return
+        the next record index. Raises on mid-log corruption."""
+        segments = wal_segments(self.stream_dir)
+        expected = 0
+        if not segments:
+            return 0
+        expected = None
+        for position, (first, path) in enumerate(segments):
+            last = position == len(segments) - 1
+            if expected is not None and first != expected:
+                raise WalCorruptionError(
+                    f"WAL segment {path.name} starts at record {first}, "
+                    f"expected {expected}: a segment is missing or renamed"
+                )
+            raw = path.read_bytes()
+            payloads, valid_end, tail_reason = _scan_segment(raw, path)
+            if tail_reason:
+                if not last:
+                    raise WalCorruptionError(
+                        f"{tail_reason} — but {path.name} is not the "
+                        f"final segment, so this is mid-log damage"
+                    )
+                # Clean tear: drop the incomplete record so appends
+                # never land behind garbage bytes.
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_end)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self.records_truncated += 1
+            expected = first + len(payloads)
+            if last:
+                self._open_segment(path, valid_end)
+        return expected
+
+    # -- segment management --------------------------------------------
+
+    def _open_segment(self, path: Path, size: int) -> None:
+        self._file = open(path, "ab")
+        self._segment_size = size
+
+    def _rotate(self) -> None:
+        if self._file is not None:
+            self.sync(force=self.fsync_policy != "never")
+            self._file.close()
+        path = self.stream_dir / segment_name(self._next_index)
+        self._file = open(path, "ab")
+        self._segment_size = 0
+        if self.fsync_policy != "never":
+            _fsync_dir(self.stream_dir)
+
+    # -- appending ------------------------------------------------------
+
+    @property
+    def next_index(self) -> int:
+        """Record index the next :meth:`append` will occupy."""
+        return self._next_index
+
+    def append(self, payload: bytes) -> int:
+        """Append one record; returns its index. Durability follows the
+        configured fsync policy (call :meth:`sync` to force)."""
+        if self._file is None or self._segment_size >= self.segment_bytes:
+            self._rotate()
+        data = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        if crashpoints.fire("wal_torn"):
+            # Crash-harness tear: persist half the record, then die the
+            # hard way. Recovery must treat this record as never written.
+            self._file.write(data[: max(1, len(data) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            crashpoints.die()
+        crashpoints.maybe_crash("wal_append")
+        self._file.write(data)
+        # Always push to the kernel: process death (SIGKILL, crash) must
+        # never lose an appended record to a userspace buffer. The fsync
+        # policy only governs the page-cache-to-disk step below.
+        self._file.flush()
+        self._segment_size += len(data)
+        index = self._next_index
+        self._next_index += 1
+        if self.fsync_policy == "always" or (
+            self.fsync_policy == "interval"
+            and time.monotonic() - self._last_sync >= self.fsync_interval_s
+        ):
+            self.sync(force=True)
+        return index
+
+    def sync(self, force: bool = True) -> None:
+        """Flush Python and (unless ``force=False``) kernel buffers."""
+        if self._file is None:
+            return
+        self._file.flush()
+        if force:
+            os.fsync(self._file.fileno())
+            self._last_sync = time.monotonic()
+
+    def prune_through(self, index: int) -> int:
+        """Delete whole segments whose records all precede ``index``.
+
+        Called after a snapshot at WAL cursor ``index``: anything before
+        the cursor is re-creatable from the snapshot, so the disk
+        footprint stays bounded by snapshot cadence, not stream length.
+        Returns the number of segments removed.
+        """
+        segments = wal_segments(self.stream_dir)
+        removed = 0
+        for position, (first, path) in enumerate(segments):
+            nxt = (
+                segments[position + 1][0]
+                if position + 1 < len(segments)
+                else self._next_index
+            )
+            if nxt <= index and position + 1 < len(segments):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def close(self) -> None:
+        if self._file is not None:
+            self.sync(force=self.fsync_policy != "never")
+            self._file.close()
+            self._file = None
+
+
+def _fsync_dir(path: Path) -> None:
+    """Persist directory metadata (new segment / renamed snapshot)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -51,17 +51,10 @@ from repro.serve.protocol import (
     error_response,
     parse_line,
 )
+from repro.serve.durability import DurabilityConfig
 from repro.serve.session import SessionLimitError, SessionManager, StreamSession
 
 __all__ = ["ReconstructionServer", "ServerHandle", "run_in_thread"]
-
-#: how long an orphaned stream waits for adoption before its eviction
-#: flush becomes the point of no return. A concurrent feeder whose
-#: first record lost a scheduling race to another connection's
-#: disconnect gets this window to adopt the stream; afterwards records
-#: are refused (with an error line) rather than racing the drain.
-#: Shutdown skips the grace entirely.
-_EVICT_GRACE_S = 0.25
 
 
 class _StreamLane:
@@ -100,6 +93,17 @@ class ReconstructionServer:
         queue_capacity: bound of each stream's ingest queue — the
             backpressure high-watermark.
         metrics_out: write the shutdown RunReport here.
+        durability: WAL + snapshot configuration; when set, every
+            stream's ingest is write-ahead-logged and :meth:`run`
+            recovers all persisted streams before the listeners come
+            up (see :mod:`repro.serve.durability`).
+        adoption_grace_s: how long an orphaned stream waits for
+            adoption before its eviction flush becomes the point of no
+            return. A concurrent feeder whose first record lost a
+            scheduling race to another connection's disconnect gets
+            this window to adopt the stream; afterwards records are
+            refused (with an error line) rather than racing the drain.
+            Shutdown skips the grace entirely.
     """
 
     def __init__(
@@ -114,6 +118,8 @@ class ReconstructionServer:
         chunk: int = 256,
         queue_capacity: int = 1024,
         metrics_out: str | None = None,
+        durability: DurabilityConfig | None = None,
+        adoption_grace_s: float = 0.25,
         argv: list[str] | None = None,
         on_ready=None,
     ) -> None:
@@ -132,8 +138,15 @@ class ReconstructionServer:
         #: called with the server once the listeners are up (CLI banner).
         self.on_ready = on_ready
         self.manager = SessionManager(
-            self.config, lateness_ms=lateness_ms, max_sessions=max_sessions
+            self.config,
+            lateness_ms=lateness_ms,
+            max_sessions=max_sessions,
+            durability=durability,
+            adoption_grace_s=adoption_grace_s,
         )
+        #: per-stream recovery summary, populated by :meth:`run` when
+        #: durability is configured (also surfaced under STATS).
+        self.recovery: dict = {}
         #: "unix:<path>" / "tcp:<host>:<port>" actually listening.
         self.endpoints: list[str] = []
         #: the shutdown RunReport, populated when :meth:`run` returns.
@@ -171,6 +184,12 @@ class ReconstructionServer:
         try:
             with isolated_registry() as registry:
                 with span("run"):
+                    with span("recover"):
+                        # Before any listener: recovered sessions must
+                        # exist before a client can query or feed them.
+                        self.recovery = await asyncio.to_thread(
+                            self.manager.recover_all
+                        )
                     with span("serve"):
                         await self._start_listeners()
                         self._ready.set()
@@ -464,7 +483,9 @@ class ReconstructionServer:
         # disconnect that orphaned it). Shutdown cuts the grace short.
         if self._shutdown is not None and not self._shutdown.is_set():
             try:
-                await asyncio.wait_for(self._shutdown.wait(), _EVICT_GRACE_S)
+                await asyncio.wait_for(
+                    self._shutdown.wait(), self.manager.adoption_grace_s
+                )
             except asyncio.TimeoutError:
                 pass
         # A new connection may have adopted the stream while we waited.
@@ -540,6 +561,10 @@ class ReconstructionServer:
                 windows[-1]["solve_index"] if windows else since
             ),
             "drained": session.drained,
+            # The resume offset: records safely in the WAL. A client
+            # reconnecting after a crash resends its trace from here —
+            # nothing lost, nothing double-ingested.
+            "records_durable": session.records_durable,
             "windows": windows,
         }
 
@@ -614,6 +639,8 @@ class ReconstructionServer:
             "chunk": self.chunk,
             "queue_capacity": self.queue_capacity,
         }
+        if self.recovery:
+            stats["recovery"] = self.recovery
         return stats
 
 

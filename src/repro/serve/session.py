@@ -18,16 +18,34 @@ keep the results queryable.
 Everything here is synchronous and asyncio-free: the server calls in
 from ``asyncio.to_thread`` workers (serialized per session by an
 asyncio lock on its side), and unit tests drive sessions directly.
+
+With a :class:`~repro.serve.durability.DurabilityConfig`, every session
+write-ahead-logs its ingest batches and flush boundaries, snapshots its
+quiesced state on a record cadence, and :meth:`SessionManager
+.recover_all` rebuilds every stream after a crash from snapshot +
+WAL-suffix replay — reproducing the pre-crash committed results
+bit-exactly (see :mod:`repro.serve.durability`).
 """
 
 from __future__ import annotations
 
 import threading
+import urllib.parse
 
 from repro.core.pipeline import DomoConfig
 from repro.obs.registry import MetricsRegistry, registry_scope
 from repro.obs.spans import span
 from repro.runtime.executor import WindowSolveSpec
+from repro.serve.durability import DurabilityConfig, load_latest_snapshot
+from repro.serve.durability import crashpoints
+from repro.serve.durability.recovery import (
+    BATCH_RECORD,
+    SnapshotConfigMismatchError,
+    StreamDurability,
+    config_signature,
+    iter_wal_batches,
+)
+from repro.serve.durability.snapshot import SNAPSHOT_SCHEMA
 from repro.serve.pool import SharedSolverPool
 from repro.serve.protocol import committed_window_to_json
 from repro.stream.engine import StreamingReconstructor
@@ -48,11 +66,13 @@ class StreamSession:
         config: DomoConfig,
         lateness_ms: float,
         pool: SharedSolverPool,
+        durability: StreamDurability | None = None,
     ) -> None:
         self.stream_id = stream_id
         self.registry = MetricsRegistry()
         self._pool = pool
         self._executor = pool.session(stream_id)
+        self._durability = durability
         self.engine = StreamingReconstructor(
             config, lateness_ms=lateness_ms, executor=self._executor
         )
@@ -72,8 +92,23 @@ class StreamSession:
     # -- engine calls (always under the session registry) ---------------
 
     def ingest(self, packets) -> None:
-        """Feed one batch of records; collect any windows that committed."""
+        """Feed one batch of records; collect any windows that committed.
+
+        With durability, the batch is appended to the WAL *before* it
+        touches the engine — an accepted record is a durable record —
+        and a snapshot is taken when the configured cadence is due.
+        """
         packets = list(packets)
+        if self._durability is not None and self.failed is None:
+            self._durability.log_batch(packets)
+            crashpoints.maybe_crash("ingest")
+        self._ingest(packets)
+        if self._durability is not None and self._durability.due_for_snapshot():
+            self.snapshot()
+
+    def _ingest(self, packets) -> None:
+        """Engine-side half of ingest (shared by the live path and
+        recovery replay, which must not re-log what it reads back)."""
         with registry_scope(self.registry):
             with span("session"):
                 self.engine.ingest(packets)
@@ -82,12 +117,54 @@ class StreamSession:
         self._absorb(committed)
 
     def flush(self) -> int:
-        """Seal/solve/commit everything buffered; new committed count."""
+        """Seal/solve/commit everything buffered; new committed count.
+
+        The flush boundary is WAL-logged *before* the engine flush runs
+        (write-ahead), so a crash mid-solve replays the flush at the
+        identical record boundary and commits the same windows.
+        """
+        if self._durability is not None and self.failed is None:
+            self._durability.log_flush()
+            crashpoints.maybe_crash("solve")
+        return self._flush()
+
+    def _flush(self) -> int:
         with registry_scope(self.registry):
             with span("session"):
                 committed = self.engine.flush()
         self._absorb(committed)
         return len(committed)
+
+    def snapshot(self) -> bool:
+        """Quiesce the engine and persist a recovery snapshot.
+
+        Skipped (returns False) without durability or on a failed
+        session — a failed engine's state is not trustworthy, and its
+        WAL alone reproduces the failure deterministically.
+        """
+        if self._durability is None or self.failed is not None:
+            return False
+        with registry_scope(self.registry):
+            with span("snapshot"):
+                self.engine.quiesce()
+                committed = self.engine.poll()
+        self._absorb(committed)
+        document = {
+            "schema": SNAPSHOT_SCHEMA,
+            "stream": self.stream_id,
+            "wal_cursor": self._durability.wal_cursor,
+            "records_durable": self._durability.records_durable,
+            "config_sig": self._durability.config_sig,
+            "session": {
+                "results": self.results,
+                "records_in": self.records_in,
+                "failed": self.failed,
+                "drained": self.drained,
+            },
+            "engine": self.engine.export_state(),
+        }
+        self._durability.save_snapshot(document)
+        return True
 
     def drain(self) -> None:
         """Final flush + release of the solver lane (results kept).
@@ -96,6 +173,9 @@ class StreamSession:
         ingest) must not wedge the drain: the failure is recorded and
         the session still ends up ``drained`` so eviction and shutdown
         complete; the pool sweeps any leftover lane residue at close.
+        With durability, the drained state is snapshotted and the WAL
+        closed, so a later restart restores the stream as a queryable,
+        already-drained session without replaying anything.
         """
         if self.drained:
             return
@@ -110,6 +190,14 @@ class StreamSession:
             if self.failed is None:
                 raise
         self.drained = True
+        if self._durability is not None:
+            try:
+                self.snapshot()
+            except Exception as exc:  # noqa: BLE001 - a failed final
+                # snapshot must not wedge shutdown; the WAL still
+                # recovers this stream, just with a longer replay.
+                self.mark_failed(f"{type(exc).__name__}: {exc}")
+            self._durability.close()
 
     def mark_failed(self, reason: str) -> None:
         """Record the first engine failure (later ones keep the first)."""
@@ -136,6 +224,17 @@ class StreamSession:
 
     # -- queries ---------------------------------------------------------
 
+    @property
+    def records_durable(self) -> int:
+        """Records safely in the WAL — the client's resume offset.
+
+        Without durability this degrades to the engine-accepted count,
+        so the RESULTS field is always present and monotone.
+        """
+        if self._durability is not None:
+            return self._durability.records_durable
+        return self.records_in
+
     def results_since(self, since: int = -1) -> list[dict]:
         """Committed rows with ``solve_index > since`` (all by default)."""
         return [row for row in self.results if row["solve_index"] > since]
@@ -147,6 +246,7 @@ class StreamSession:
         # safe where iterating the engine's dicts would not be.
         return {
             "records_in": self.records_in,
+            "records_durable": self.records_durable,
             "windows_committed": len(self.results),
             "backlog": self.engine.backlog,
             "resident_packets": self.engine.resident_packets,
@@ -166,12 +266,24 @@ class SessionManager:
         lateness_ms: float = float("inf"),
         max_sessions: int = 64,
         pool: SharedSolverPool | None = None,
+        durability: DurabilityConfig | None = None,
+        adoption_grace_s: float = 0.25,
     ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if adoption_grace_s < 0.0:
+            raise ValueError(
+                f"adoption_grace_s must be >= 0, got {adoption_grace_s}"
+            )
         self.config = config or DomoConfig()
         self.lateness_ms = lateness_ms
         self.max_sessions = max_sessions
+        self.durability = durability
+        #: how long an orphaned stream waits for adoption before its
+        #: eviction flush becomes the point of no return (the server
+        #: reads this; crash tests shrink it to make evictions prompt).
+        self.adoption_grace_s = float(adoption_grace_s)
+        self._config_sig = config_signature(self.config, lateness_ms)
         self.pool = pool or SharedSolverPool(
             WindowSolveSpec(
                 fifo_mode=self.config.fifo_mode,
@@ -213,10 +325,141 @@ class SessionManager:
                     f"stream {stream_id!r} refused"
                 )
             session = StreamSession(
-                stream_id, self.config, self.lateness_ms, self.pool
+                stream_id,
+                self.config,
+                self.lateness_ms,
+                self.pool,
+                durability=self._durability_for(stream_id),
             )
             self._sessions[stream_id] = session
             return session
+
+    def _durability_for(self, stream_id: str) -> StreamDurability | None:
+        if self.durability is None:
+            return None
+        return StreamDurability(
+            self.durability, stream_id, config_sig=self._config_sig
+        )
+
+    # -- crash recovery ----------------------------------------------------
+
+    def recover_all(self) -> dict:
+        """Rebuild every stream found under the WAL root; per-stream
+        summary keyed by stream id.
+
+        Called once at server startup, before listeners come up, so
+        recovered sessions exist before any client can reach them.
+        Recovered streams bypass the admission cap (refusing to recover
+        durable state because of a limit meant for *new* streams would
+        turn a restart into data loss). WAL corruption and snapshot
+        config mismatches raise — a server must not come up pretending
+        to have state it cannot truthfully rebuild; the supervisor's
+        circuit breaker surfaces the named error after repeated failures.
+        """
+        summary: dict[str, dict] = {}
+        if self.durability is None:
+            return summary
+        root = self.durability.wal_dir
+        if not root.is_dir():
+            return summary
+        for entry in sorted(root.iterdir()):
+            if not entry.is_dir():
+                continue
+            stream_id = urllib.parse.unquote(entry.name)
+            with self._lock:
+                if stream_id in self._sessions:
+                    continue
+                summary[stream_id] = self._recover_stream(stream_id)
+        return summary
+
+    def _recover_stream(self, stream_id: str) -> dict:
+        """Rebuild one stream: newest valid snapshot + WAL-suffix replay.
+
+        Engine-level replay failures (e.g. a strict-validation rejection
+        that also failed the live run) are contained exactly like the
+        live pump contains them — the session is marked failed, its
+        committed results stay queryable — while WAL corruption stays
+        fatal (raised from the writer's open or the replay iterator).
+        """
+        durability = StreamDurability(
+            self.durability, stream_id, config_sig=self._config_sig
+        )
+        snapshot = load_latest_snapshot(durability.stream_dir)
+        cursor = 0
+        if snapshot is not None:
+            if snapshot.get("config_sig") != self._config_sig:
+                raise SnapshotConfigMismatchError(
+                    f"stream {stream_id!r}: snapshot at WAL cursor "
+                    f"{snapshot.get('wal_cursor')} was taken under config "
+                    f"signature {snapshot.get('config_sig')!r}, server is "
+                    f"running {self._config_sig!r}; restore the original "
+                    f"config or clear {durability.stream_dir}"
+                )
+            cursor = snapshot["wal_cursor"]
+        session = StreamSession(
+            stream_id,
+            self.config,
+            self.lateness_ms,
+            self.pool,
+            durability=durability,
+        )
+        if snapshot is not None:
+            session.engine = StreamingReconstructor.from_state(
+                snapshot["engine"],
+                self.config,
+                lateness_ms=self.lateness_ms,
+                executor=session._executor,
+            )
+            session.results = list(snapshot["session"]["results"])
+            session.records_in = snapshot["session"]["records_in"]
+            session.failed = snapshot["session"]["failed"]
+            durability.records_durable = snapshot["records_durable"]
+            durability.last_snapshot_cursor = cursor
+        replayed_records = 0
+        replayed_packets = 0
+        from repro.sim.io import packet_from_json
+
+        for index, record in iter_wal_batches(durability.stream_dir, cursor):
+            replayed_records += 1
+            if record["t"] == BATCH_RECORD:
+                packets = [
+                    packet_from_json(item, index)
+                    for item in record["packets"]
+                ]
+                durability.records_durable += len(packets)
+                replayed_packets += len(packets)
+                if session.failed is None:
+                    try:
+                        session._ingest(packets)
+                    except Exception as exc:  # noqa: BLE001 - contained
+                        session.mark_failed(f"{type(exc).__name__}: {exc}")
+            else:
+                if session.failed is None:
+                    try:
+                        session._flush()
+                    except Exception as exc:  # noqa: BLE001 - contained
+                        session.mark_failed(f"{type(exc).__name__}: {exc}")
+        if snapshot is not None and snapshot["session"].get("drained"):
+            # The stream finished its life before the crash: restore it
+            # as the queryable, lane-free shell it was.
+            session.drained = True
+            session.engine.close()
+            try:
+                self.pool.release(stream_id)
+            except RuntimeError:
+                pass
+            durability.close()
+        self._sessions[stream_id] = session
+        return {
+            "snapshot_cursor": cursor if snapshot is not None else None,
+            "wal_records_replayed": replayed_records,
+            "packets_replayed": replayed_packets,
+            "records_durable": durability.records_durable,
+            "windows_committed": len(session.results),
+            "torn_records_truncated": durability.wal.records_truncated,
+            "drained": session.drained,
+            "failed": session.failed,
+        }
 
     # -- eviction ----------------------------------------------------------
 

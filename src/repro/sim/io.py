@@ -288,20 +288,33 @@ def save_packets_jsonl(
     return count
 
 
-def iter_packets_jsonl(source):
+def iter_packets_jsonl(
+    source, *, tolerate_truncated_tail: bool = False, report=None
+):
     """Yield :class:`ReceivedPacket` records from a JSON Lines stream.
 
     ``source`` is a path (``.gz`` suffixes are gzip-decompressed) or any
     iterable of text lines (an open file handle, ``sys.stdin``, a tailing
     generator). Blank lines are skipped; a malformed line raises
     :class:`TraceFormatError` naming its line number.
+
+    With ``tolerate_truncated_tail``, an unparseable *final* line — the
+    signature of a producer killed mid-write — is skipped instead of
+    raised, and ``report.truncated_lines`` is incremented when a
+    :class:`~repro.core.validation.ValidationReport` is supplied. A bad
+    line with more data after it is damage, not a torn write, and raises
+    regardless.
     """
     if isinstance(source, (str, Path)):
         path = Path(source)
         opener = gzip.open if path.suffix == ".gz" else open
         try:
             with opener(path, "rt", encoding="utf-8") as handle:
-                yield from iter_packets_jsonl(handle)
+                yield from iter_packets_jsonl(
+                    handle,
+                    tolerate_truncated_tail=tolerate_truncated_tail,
+                    report=report,
+                )
         except FileNotFoundError:
             raise TraceFormatError(f"trace file not found: {path}") from None
         except (OSError, EOFError, UnicodeDecodeError) as exc:
@@ -309,30 +322,61 @@ def iter_packets_jsonl(source):
                 f"corrupt JSONL trace {path}: {exc}"
             ) from exc
         return
-    for lineno, line in enumerate(source, start=1):
-        line = line.strip()
+    iterator = iter(source)
+    lineno = 0
+    while True:
+        try:
+            raw = next(iterator)
+        except StopIteration:
+            return
+        lineno += 1
+        line = raw.strip()
         if not line:
             continue
         try:
             item = json.loads(line)
         except json.JSONDecodeError as exc:
+            bad_lineno = lineno
+            if tolerate_truncated_tail:
+                # Torn tail only if nothing but blank lines follows.
+                while True:
+                    try:
+                        rest = next(iterator)
+                    except StopIteration:
+                        if report is not None:
+                            report.truncated_lines += 1
+                        return
+                    lineno += 1
+                    if rest.strip():
+                        break
             raise TraceFormatError(
-                f"JSONL line {lineno} is not valid JSON: {exc}"
+                f"JSONL line {bad_lineno} is not valid JSON: {exc}"
             ) from exc
         yield _parse_received(item, lineno)
 
 
-def read_packets_jsonl_chunks(source, chunk_size: int = 256):
+def read_packets_jsonl_chunks(
+    source,
+    chunk_size: int = 256,
+    *,
+    tolerate_truncated_tail: bool = False,
+    report=None,
+):
     """Batch :func:`iter_packets_jsonl` into lists of ``chunk_size``.
 
     The ingestion granularity of the streaming engine: each chunk is one
     ``StreamingReconstructor.ingest`` call, so ``chunk_size`` trades
-    ingest overhead against seal latency.
+    ingest overhead against seal latency. Tail-tolerance keywords pass
+    through to :func:`iter_packets_jsonl`.
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     chunk: list[ReceivedPacket] = []
-    for packet in iter_packets_jsonl(source):
+    for packet in iter_packets_jsonl(
+        source,
+        tolerate_truncated_tail=tolerate_truncated_tail,
+        report=report,
+    ):
         chunk.append(packet)
         if len(chunk) >= chunk_size:
             yield chunk

@@ -317,6 +317,46 @@ class StreamingReconstructor:
         self.telemetry.publish()
         return out
 
+    def quiesce(self) -> None:
+        """Block until no window is in flight: drain every submitted
+        solve and run the in-order commit gate. Does *not* force seals —
+        open windows stay open (unlike :meth:`flush`). Commits produced
+        here surface through the next :meth:`poll`. This is the
+        precondition for :meth:`export_state`: a snapshot must not race
+        the solver pool."""
+        self._advance(block=True)
+
+    def export_state(self) -> dict:
+        """Strict-JSON document of the full engine state.
+
+        Requires a quiesced engine with :meth:`poll` output absorbed;
+        see :func:`repro.stream.state.export_engine_state` for the
+        exactness contract. The durability layer snapshots this next to
+        its WAL cursor."""
+        from repro.stream.state import export_engine_state
+
+        return export_engine_state(self)
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        config: DomoConfig | None = None,
+        lateness_ms: float = 5_000.0,
+        executor: WindowExecutor | None = None,
+    ) -> "StreamingReconstructor":
+        """Rebuild an engine from :meth:`export_state` output.
+
+        ``config`` and ``lateness_ms`` must match the exporting engine
+        (the recovery layer enforces this with a config signature);
+        the restored engine then behaves bit-identically to one that
+        lived through the original ingests."""
+        from repro.stream.state import restore_engine_state
+
+        engine = cls(config, lateness_ms, executor)
+        restore_engine_state(engine, state)
+        return engine
+
     def close(self) -> None:
         """Release the executor's pool (the executor object is retained
         so :meth:`stats` still reports what actually ran). An executor

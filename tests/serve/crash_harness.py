@@ -1,0 +1,209 @@
+"""Crash-injection harness for the durable serve tier.
+
+Runs ``domo serve --supervise --wal-dir`` as a real subprocess with
+seeded kill points (``DOMO_CRASHPOINTS``: the child SIGKILLs itself at
+the n-th arming of a named point, per incarnation), drives a trace
+through a reconnecting client that resumes from the server's durable
+offset, and returns the full RESULTS rows so tests can assert they are
+bit-for-bit identical to an uncrashed run.
+
+The choreography is deterministic by construction: packets are sent in
+sink-arrival order, the server's default ``--lateness-ms inf`` defers
+all sealing to FLUSH, and the client flushes at fixed packet offsets —
+so two runs that flush at the same offsets commit identical windows
+regardless of where (or whether) a crash landed in between.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve.client import _RESET_ERRORS, connect
+from repro.serve.protocol import arrival_key_of
+from repro.sim import NetworkConfig, simulate_network
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+def make_packets(seed=7, num_nodes=16, duration_ms=20_000.0):
+    """A small deterministic trace, in sink-arrival order."""
+    trace = simulate_network(
+        NetworkConfig(
+            num_nodes=num_nodes,
+            placement="grid",
+            duration_ms=duration_ms,
+            packet_period_ms=2_500.0,
+            seed=seed,
+        )
+    )
+    return sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+
+
+class ServeProcess:
+    """One ``domo serve`` subprocess on a unix socket, durability and
+    supervision optional. Use as a context manager; :meth:`stop` sends
+    SIGTERM and returns ``(returncode, stderr_text)``."""
+
+    def __init__(
+        self,
+        tmp_path,
+        *,
+        wal_dir=None,
+        crashpoints=None,
+        supervise=False,
+        snapshot_interval=4,
+        fsync="interval",
+        max_restarts=6,
+        backoff_ms=50.0,
+        extra_args=(),
+    ):
+        self.sock_path = str(Path(tmp_path) / "crash.sock")
+        argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", self.sock_path,
+        ]
+        if wal_dir is not None:
+            argv += [
+                "--wal-dir", str(wal_dir),
+                "--fsync", fsync,
+                "--snapshot-interval", str(snapshot_interval),
+            ]
+        if supervise:
+            argv += [
+                "--supervise",
+                "--max-restarts", str(max_restarts),
+                "--backoff-ms", str(backoff_ms),
+            ]
+        argv += list(extra_args)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR
+        env.pop("DOMO_CRASH_INCARNATION", None)
+        if crashpoints:
+            env["DOMO_CRASHPOINTS"] = crashpoints
+        else:
+            env.pop("DOMO_CRASHPOINTS", None)
+        self.proc = subprocess.Popen(
+            argv, env=env, stderr=subprocess.PIPE, text=True
+        )
+
+    def wait_ready(self, timeout=60.0):
+        deadline = time.time() + timeout
+        while not os.path.exists(self.sock_path):
+            if self.proc.poll() is not None:
+                raise AssertionError(
+                    f"server exited before binding: "
+                    f"{self.proc.communicate()[1]}"
+                )
+            if time.time() > deadline:
+                raise AssertionError("server socket never appeared")
+            time.sleep(0.05)
+        return self
+
+    def stop(self, timeout=120.0):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            stderr = self.proc.communicate(timeout=timeout)[1]
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            stderr = self.proc.communicate()[1]
+        return self.proc.returncode, stderr
+
+    def __enter__(self):
+        return self.wait_ready()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+def drive(
+    sock_path,
+    packets,
+    *,
+    stream="s",
+    flush_at=(),
+    max_resets=12,
+    connect_retries=80,
+    backoff_s=0.1,
+):
+    """Send the trace, flushing at the given packet offsets (and always
+    at the end), surviving any number of server crashes up to
+    ``max_resets``. Returns ``(results_reply, resets_survived)``.
+
+    After every connection reset the client re-dials (covering the
+    supervisor's restart window) and resumes from the server's durable
+    offset — nothing is lost, nothing is double-ingested, so the
+    async-error channel must stay empty.
+    """
+    boundaries = sorted(
+        {int(b) for b in flush_at if 0 < int(b) < len(packets)}
+    ) + [len(packets)]
+    client = connect(
+        socket_path=sock_path,
+        timeout=120.0,
+        connect_retries=connect_retries,
+        retry_backoff_s=backoff_s,
+    )
+    resets = 0
+
+    def survive(step):
+        nonlocal resets
+        while True:
+            try:
+                return step()
+            except _RESET_ERRORS:
+                resets += 1
+                if resets > max_resets:
+                    raise
+                client.reconnect(retries=connect_retries, backoff_s=backoff_s)
+
+    try:
+        for end in boundaries:
+            def stage(end=end):
+                offset = client.durable_offset(stream)
+                if offset < end:
+                    client.send_packets(packets[offset:end], stream)
+                reply = client.flush(stream)
+                if not reply.get("ok"):
+                    raise AssertionError(f"FLUSH failed: {reply}")
+            survive(stage)
+        reply = survive(lambda: client.results(stream))
+        if not reply.get("ok"):
+            raise AssertionError(f"RESULTS failed: {reply}")
+        if client.async_errors:
+            raise AssertionError(
+                f"records were rejected: {client.async_errors}"
+            )
+        return reply, resets
+    finally:
+        client.close()
+
+
+def window_rows(reply):
+    """The deterministic content of a RESULTS reply: every committed
+    window's identity, bounds, and bit-exact estimates."""
+    return [
+        (
+            w["solve_index"],
+            w["grid_index"],
+            w["start_ms"],
+            w["end_ms"],
+            w["estimates"],
+        )
+        for w in reply["windows"]
+    ]
+
+
+def merged_estimates(reply):
+    """All estimates of a RESULTS reply as ``{ArrivalKey: float}`` —
+    directly comparable with ``DomoReconstructor.estimate(...).estimates``."""
+    merged = {}
+    for window in reply["windows"]:
+        for key_text, value in window["estimates"].items():
+            merged[arrival_key_of(key_text)] = value
+    return merged

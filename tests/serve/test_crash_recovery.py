@@ -1,0 +1,149 @@
+"""Crash-injection tests: SIGKILL the durable server at seeded points
+and assert recovery is invisible in the results.
+
+Every scenario runs ``domo serve --supervise --wal-dir`` as a real
+subprocess, kills it (from the inside, via ``DOMO_CRASHPOINTS``) at a
+specific place in the durability pipeline, lets the supervisor restart
+it, and drives the same trace through a resuming client. The RESULTS
+rows must be bit-for-bit identical to an uncrashed run with the same
+flush choreography — crash recovery is correct only if it is
+indistinguishable from never having crashed.
+"""
+
+import time
+
+import pytest
+
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+from repro.serve.client import connect
+from repro.serve.server import ReconstructionServer, run_in_thread
+
+from .crash_harness import (
+    ServeProcess,
+    drive,
+    make_packets,
+    merged_estimates,
+    window_rows,
+)
+
+#: small ingest batches so per-batch crash points have many arming
+#: opportunities within the ~100-packet trace.
+CHUNK = 16
+
+_PACKETS = None
+_REFERENCES: dict = {}
+
+
+def packets():
+    global _PACKETS
+    if _PACKETS is None:
+        _PACKETS = make_packets()
+    return _PACKETS
+
+
+def reference_rows(flush_at=()):
+    """RESULTS rows of an uncrashed in-process server run with the same
+    flush choreography (cached per choreography)."""
+    key = tuple(flush_at)
+    if key not in _REFERENCES:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            sock = f"{td}/ref.sock"
+            handle = run_in_thread(
+                ReconstructionServer(
+                    DomoConfig(), socket_path=sock, chunk=CHUNK
+                )
+            )
+            try:
+                reply, resets = drive(sock, packets(), flush_at=flush_at)
+            finally:
+                handle.stop()
+        assert resets == 0
+        _REFERENCES[key] = window_rows(reply)
+    return _REFERENCES[key]
+
+
+# (crashpoints spec, flush offsets, minimum kills expected)
+KILL_SCENARIOS = {
+    "mid_ingest": ("ingest:2", (), 1),
+    "mid_wal_append": ("wal_append:3", (), 1),
+    "torn_wal_tail": ("wal_torn:2", (), 1),
+    "mid_snapshot": ("snapshot:1", (), 1),
+    "mid_solve": ("solve:1", (50,), 1),
+    "killed_twice": ("ingest:2;ingest:3", (), 2),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(KILL_SCENARIOS))
+def test_seeded_kill_recovers_bit_identical(tmp_path, scenario):
+    crashpoints, flush_at, min_kills = KILL_SCENARIOS[scenario]
+    wal_dir = tmp_path / "wal"
+    with ServeProcess(
+        tmp_path,
+        wal_dir=wal_dir,
+        crashpoints=crashpoints,
+        supervise=True,
+        extra_args=("--chunk", str(CHUNK)),
+    ) as server:
+        reply, resets = drive(
+            server.sock_path, packets(), flush_at=flush_at
+        )
+        rows = window_rows(reply)
+        with connect(
+            socket_path=server.sock_path, connect_retries=40
+        ) as query:
+            stats = query.stats()
+        code, stderr = server.stop()
+    assert code == 0, stderr
+    assert resets >= min_kills, (
+        f"expected >= {min_kills} crash(es), saw {resets} resets\n{stderr}"
+    )
+    assert "restart" in stderr
+    # The final incarnation recovered from disk, not from scratch.
+    recovery = stats.get("recovery", {})
+    assert "s" in recovery, stats
+    assert recovery["s"]["failed"] is None
+    if scenario == "torn_wal_tail":
+        assert recovery["s"]["torn_records_truncated"] >= 1
+    # The acceptance bar: identical committed windows, bit-exact floats.
+    assert rows == reference_rows(flush_at)
+    if not flush_at:
+        # Single end-of-stream flush: also batch-pipeline parity.
+        batch = DomoReconstructor(DomoConfig()).estimate(packets())
+        assert merged_estimates(reply) == batch.estimates
+
+
+def test_poisoned_wal_trips_breaker_with_named_error(tmp_path):
+    """Mid-log WAL corruption must refuse recovery on every boot and
+    surface through the supervisor as one named CrashLoopError carrying
+    the WalCorruptionError — not an infinite crash loop."""
+    from repro.serve.durability import stream_state_dir
+    from repro.serve.durability.wal import WalWriter, wal_segments
+
+    wal_dir = tmp_path / "wal"
+    stream_dir = stream_state_dir(wal_dir, "s")
+    writer = WalWriter(stream_dir)
+    for payload in (b'{"a":1}', b'{"b":2}', b'{"c":3}'):
+        writer.append(payload)
+    writer.close()
+    # Flip a payload byte of the first record: complete record, bad CRC.
+    _, segment = wal_segments(stream_dir)[0]
+    raw = bytearray(segment.read_bytes())
+    raw[8] ^= 0xFF
+    segment.write_bytes(bytes(raw))
+
+    server = ServeProcess(
+        tmp_path,
+        wal_dir=wal_dir,
+        supervise=True,
+        max_restarts=2,
+        backoff_ms=30.0,
+    )
+    deadline = time.time() + 60.0
+    while server.proc.poll() is None and time.time() < deadline:
+        time.sleep(0.05)
+    code, stderr = server.stop()
+    assert code == 2, stderr
+    assert "CrashLoopError" in stderr
+    assert "WalCorruptionError" in stderr

@@ -247,3 +247,59 @@ def test_jsonl_missing_file_raises_format_error(tmp_path):
 
     with pytest.raises(TraceFormatError, match="not found"):
         list(iter_packets_jsonl(tmp_path / "absent.jsonl"))
+
+
+def test_jsonl_truncated_final_line_tolerated_and_counted(tmp_path, trace):
+    """A producer killed mid-write leaves a cut-off last line; tolerant
+    readers skip it and count it, strict readers still raise."""
+    from repro.core.validation import ValidationReport
+    from repro.sim.io import (
+        iter_packets_jsonl,
+        packet_to_json,
+        read_packets_jsonl_chunks,
+        save_packets_jsonl,
+    )
+
+    path = tmp_path / "stream.jsonl"
+    save_packets_jsonl(trace.received[:5], path)
+    torn = json.dumps(packet_to_json(trace.received[5]))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(torn[: len(torn) // 2])  # no newline: torn write
+
+    # Default (strict) behavior is unchanged: the bad line raises.
+    with pytest.raises(TraceFormatError, match="line 6"):
+        list(iter_packets_jsonl(path))
+
+    report = ValidationReport(mode="repair")
+    survivors = list(
+        iter_packets_jsonl(
+            path, tolerate_truncated_tail=True, report=report
+        )
+    )
+    assert survivors == trace.received[:5]
+    assert report.truncated_lines == 1
+    assert not report.clean
+    assert report.as_dict()["truncated_lines"] == 1
+
+    report2 = ValidationReport(mode="repair")
+    chunks = list(
+        read_packets_jsonl_chunks(
+            path, 2, tolerate_truncated_tail=True, report=report2
+        )
+    )
+    assert [p for chunk in chunks for p in chunk] == trace.received[:5]
+    assert report2.truncated_lines == 1
+
+
+def test_jsonl_bad_line_mid_stream_raises_even_when_tolerant(
+    tmp_path, trace
+):
+    from repro.sim.io import iter_packets_jsonl, save_packets_jsonl
+
+    path = tmp_path / "stream.jsonl"
+    save_packets_jsonl(trace.received[:4], path)
+    text = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    text.insert(2, "{cut off mid\n")
+    path.write_text("".join(text), encoding="utf-8")
+    with pytest.raises(TraceFormatError, match="line 3"):
+        list(iter_packets_jsonl(path, tolerate_truncated_tail=True))
