@@ -16,6 +16,9 @@ Subcommands::
     domo serve     --socket domo.sock [--port 7734]
         Multi-stream reconstruction service over unix/TCP sockets
         (newline-delimited records in, strict-JSON query replies out).
+    domo route     --shards 3 --state-dir tier/ --socket domo.sock
+        Sharded serve tier: consistent-hash router over N supervised
+        shard processes with live stream migration (MIGRATE/DRAIN).
 
 Operational errors — a missing, truncated or non-JSON trace file —
 print a one-line message and exit with code 2 instead of a traceback.
@@ -504,6 +507,7 @@ def _serve_child_argv(args, *, port) -> list[str]:
         "--queue-capacity", str(args.queue_capacity),
         "--validate", args.validate,
         "--adoption-grace-ms", str(args.adoption_grace_ms),
+        "--max-line-bytes", str(args.max_line_bytes),
     ]
     if args.workers is not None:
         argv += ["--workers", str(args.workers)]
@@ -577,6 +581,7 @@ def _cmd_serve(args) -> int:
         on_ready=on_ready,
         durability=durability,
         adoption_grace_s=args.adoption_grace_ms / 1000.0,
+        max_line_bytes=args.max_line_bytes,
     )
     # The server wraps itself in an isolated registry + root "run" span
     # and writes its own RunReport at drain, so no _run_with_metrics.
@@ -596,6 +601,86 @@ def _cmd_serve(args) -> int:
         f"drained: {stats.get('sessions', 0)} session(s), "
         f"{stats.get('server', {}).get('records_accepted', 0)} record(s) "
         f"accepted",
+        file=sys.stderr,
+    )
+    if args.metrics_out:
+        print(f"metrics report        : {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_route(args) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve.protocol import MAX_ADMIN_LINE_BYTES
+    from repro.serve.router import RouterServer, ShardSpec
+
+    if args.socket is None and args.port is None:
+        raise ValueError("domo route needs --socket and/or --port")
+    state_dir = Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    specs = []
+    for i in range(args.shards):
+        name = f"shard-{i}"
+        shard_dir = state_dir / name
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        shard_socket = str(state_dir / f"{name}.sock")
+        metrics_path = str(shard_dir / "report.json")
+        shard_argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", shard_socket,
+            "--wal-dir", str(shard_dir / "wal"),
+            "--fsync", args.fsync,
+            "--snapshot-interval", str(args.snapshot_interval),
+            "--max-sessions", str(args.max_sessions),
+            "--lateness-ms", str(args.lateness_ms),
+            "--chunk", str(args.chunk),
+            "--queue-capacity", str(args.queue_capacity),
+            "--validate", args.validate,
+            "--adoption-grace-ms", str(args.adoption_grace_ms),
+            # IMPORT lines carry a whole exported stream; the socket is
+            # internal, so the hostile-client line cap does not apply.
+            "--max-line-bytes", str(MAX_ADMIN_LINE_BYTES),
+            "--metrics-out", metrics_path,
+        ]
+        if args.workers is not None:
+            shard_argv += ["--workers", str(args.workers)]
+        specs.append(
+            ShardSpec(
+                name, shard_socket, argv=shard_argv,
+                metrics_path=metrics_path,
+            )
+        )
+
+    def on_ready(router) -> None:
+        for endpoint in router.endpoints:
+            print(
+                f"routing on {endpoint} over {args.shards} shard(s)",
+                file=sys.stderr,
+            )
+
+    router = RouterServer(
+        specs,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        replicas=args.replicas,
+        state_dir=str(state_dir),
+        failover_deadline_s=args.failover_deadline_ms / 1000.0,
+        supervisor_max_restarts=args.max_restarts,
+        supervisor_backoff_s=args.backoff_ms / 1000.0,
+        metrics_out=args.metrics_out,
+        argv=list(sys.argv[1:]),
+        on_ready=on_ready,
+    )
+    # Like serve, the router wraps itself in an isolated registry and a
+    # root "run" span and writes its own (tier-wide) RunReport at drain.
+    report = asyncio.run(router.run())
+    stats = report.stats["router"]
+    print(
+        f"router drained: {stats['streams']} stream(s), "
+        f"{stats['records_accepted']} record(s) forwarded, "
+        f"{stats['migrations']} migration(s)",
         file=sys.stderr,
     )
     if args.metrics_out:
@@ -787,6 +872,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long a drained stream stays queryable for adoption "
              "by a new connection before eviction (default 250)")
     serve.add_argument(
+        "--max-line-bytes", type=_positive_int, default=1 << 20,
+        metavar="N",
+        help="per-connection readline limit (default 1 MiB); a router "
+             "raises this on its internal shard sockets so IMPORT "
+             "lines carrying a whole exported stream fit")
+    serve.add_argument(
         "--supervise", action="store_true",
         help="run the server in a supervised child process: restart it "
              "on crash with exponential backoff, give up with a named "
@@ -802,6 +893,82 @@ def build_parser() -> argparse.ArgumentParser:
              "consecutive fast failure (default 200)")
     _add_metrics_out(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    route = commands.add_parser(
+        "route",
+        help="sharded serve tier: consistent-hash router over N "
+             "supervised shard processes",
+    )
+    route.add_argument(
+        "--shards", type=_positive_int, default=2, metavar="N",
+        help="number of shard processes to spawn (default 2), each a "
+             "full durable reconstruction server with its own WAL dir")
+    route.add_argument(
+        "--state-dir", type=str, required=True, metavar="DIR",
+        help="tier state root: per-shard sockets, WAL dirs, shutdown "
+             "reports, and the router's routing.json live here")
+    route.add_argument(
+        "--socket", type=str, default=None, metavar="PATH",
+        help="client-facing unix-domain socket")
+    route.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="client-facing TCP bind address (default 127.0.0.1)")
+    route.add_argument(
+        "--port", type=int, default=None,
+        help="client-facing TCP port (0 picks a free one)")
+    route.add_argument(
+        "--replicas", type=_positive_int, default=64, metavar="N",
+        help="virtual points per shard on the consistent-hash ring "
+             "(default 64)")
+    route.add_argument(
+        "--failover-deadline-ms", type=float, default=15000.0,
+        metavar="MS",
+        help="total ceiling on one shard failover (reconnect dials + "
+             "backoff), bounding the client-visible stall (default "
+             "15000)")
+    route.add_argument(
+        "--max-sessions", type=_positive_int, default=64,
+        help="per-shard admission limit on active streams (default 64)")
+    route.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="per-shard solver pool workers (>1 enables parallel "
+             "execution inside each shard)")
+    route.add_argument(
+        "--lateness-ms", type=float, default=float("inf"),
+        help="per-stream watermark allowance (default 'inf': sealing "
+             "deferred to FLUSH/shutdown for bit-parity with "
+             "'domo estimate')")
+    route.add_argument(
+        "--chunk", type=_positive_int, default=256,
+        help="per-shard max records per engine ingest call (default 256)")
+    route.add_argument(
+        "--queue-capacity", type=_positive_int, default=1024,
+        help="per-stream ingest queue bound on each shard (default 1024)")
+    route.add_argument(
+        "--validate", choices=("off", "strict", "repair", "drop"),
+        default="repair",
+        help="ingest validation mode for every stream (default: repair)")
+    route.add_argument(
+        "--fsync", choices=("always", "interval", "never"),
+        default="interval",
+        help="shard WAL fsync policy (default interval)")
+    route.add_argument(
+        "--snapshot-interval", type=int, default=256, metavar="N",
+        help="shard snapshot cadence in WAL records (default 256)")
+    route.add_argument(
+        "--adoption-grace-ms", type=float, default=250.0, metavar="MS",
+        help="shard-side eviction grace for orphaned streams "
+             "(default 250)")
+    route.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="per-shard crash-loop breaker: consecutive fast failures "
+             "tolerated before the shard is given up on (default 5)")
+    route.add_argument(
+        "--backoff-ms", type=float, default=200.0, metavar="MS",
+        help="per-shard base restart delay, doubled per consecutive "
+             "fast failure (default 200)")
+    _add_metrics_out(route)
+    route.set_defaults(handler=_cmd_route)
     return parser
 
 

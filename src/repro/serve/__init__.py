@@ -1,19 +1,26 @@
-"""The reconstruction service layer: ``domo serve`` and its client.
+"""The reconstruction service layer: ``domo serve``/``domo route``.
 
 Layering (each module only imports downward)::
 
+    router     consistent-hash front door: N shard processes, live
+               stream migration, vector-cursor RESULTS, failover resync
     supervisor parent process: restart-on-crash, backoff, breaker
-    server     asyncio listeners, readers, pumps, drain-on-SIGTERM
+    server     the serving core: per-stream pumps, eviction, commands
+               (incl. EXPORT/IMPORT migration), drain-on-SIGTERM
+    core       shared listener/connection front door (readers, strict-
+               JSON replies, signal wiring) for server and router
     session    per-stream engine + registry + result log; admission,
-               WAL logging, snapshots, crash recovery
+               WAL logging, snapshots, crash recovery, export/import
     durability WAL segments, atomic snapshots, crashpoints
     pool       fair multiplexing of many engines onto one WindowExecutor
-    protocol   newline-delimited records/commands, strict-JSON replies
+    protocol   newline-delimited records/commands, strict-JSON replies,
+               vector cursors
     client     synchronous helper speaking the protocol (demo, CI,
                tests) with reconnect + resume-from-durable-offset
 """
 
 from repro.serve.client import ServeClient, connect
+from repro.serve.core import LineProtocolServer
 from repro.serve.durability import DurabilityConfig, WalCorruptionError
 from repro.serve.durability.recovery import (
     RecoveryError,
@@ -22,6 +29,7 @@ from repro.serve.durability.recovery import (
 from repro.serve.durability.supervisor import CrashLoopError, Supervisor
 from repro.serve.pool import SessionExecutor, SharedSolverPool
 from repro.serve.protocol import DEFAULT_STREAM, ProtocolError
+from repro.serve.router import HashRing, RouterServer, ShardSpec
 from repro.serve.server import ReconstructionServer, ServerHandle, run_in_thread
 from repro.serve.session import SessionLimitError, SessionManager, StreamSession
 
@@ -29,14 +37,18 @@ __all__ = [
     "DEFAULT_STREAM",
     "CrashLoopError",
     "DurabilityConfig",
+    "HashRing",
+    "LineProtocolServer",
     "ProtocolError",
     "ReconstructionServer",
     "RecoveryError",
+    "RouterServer",
     "ServeClient",
     "ServerHandle",
     "SessionExecutor",
     "SessionLimitError",
     "SessionManager",
+    "ShardSpec",
     "SharedSolverPool",
     "SnapshotConfigMismatchError",
     "StreamSession",

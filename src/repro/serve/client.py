@@ -51,6 +51,8 @@ class ServeClient:
         self.async_errors: list[dict] = []
         #: successful re-dials performed by :meth:`reconnect`.
         self.reconnects = 0
+        #: True once :meth:`close` ran (cleared by :meth:`reconnect`).
+        self.closed = False
 
     # -- transport ------------------------------------------------------
 
@@ -63,6 +65,15 @@ class ServeClient:
         chunk = b"".join(encode_record(stream, p) for p in packets)
         self._sock.sendall(chunk)
         return chunk.count(b"\n")
+
+    def send_raw(self, data: bytes) -> None:
+        """Pipeline pre-encoded wire lines verbatim (router forwarding).
+
+        The router proxies client record lines without re-encoding them
+        — byte identity on the wire is what keeps served results
+        bit-identical to a direct connection.
+        """
+        self._sock.sendall(data)
 
     def command(self, line: str) -> dict:
         """Send one command line, return its (non-async) JSON reply."""
@@ -81,13 +92,22 @@ class ServeClient:
 
     # -- crash resilience ----------------------------------------------
 
-    def reconnect(self, retries: int = 5, backoff_s: float = 0.2) -> None:
+    def reconnect(
+        self,
+        retries: int = 5,
+        backoff_s: float = 0.2,
+        deadline_s: float | None = None,
+    ) -> None:
         """Re-dial the endpoint this client was created from.
 
         Retries with exponential backoff — a supervised server takes a
-        backoff-and-recovery beat to come back after a crash. Raises the
-        last connection error once ``retries`` attempts are exhausted,
-        or :class:`RuntimeError` if the client has no dialer.
+        backoff-and-recovery beat to come back after a crash.
+        ``deadline_s`` bounds the *total* time spent (dialing plus all
+        backoff sleeps), not just each attempt: a router failing over a
+        shard needs a hard ceiling on how long a client-visible stall
+        can last. Raises the last connection error once ``retries``
+        attempts or the deadline are exhausted, or :class:`RuntimeError`
+        if the client has no dialer.
         """
         if self._dial is None:
             raise RuntimeError(
@@ -95,19 +115,34 @@ class ServeClient:
                 "reconnect; use serve.connect() to get a re-dialable one"
             )
         self.close()
+        deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
         last: Exception | None = None
         for attempt in range(max(1, retries)):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
             try:
                 sock = self._dial()
             except _RESET_ERRORS as exc:
                 last = exc
-                time.sleep(backoff_s * (2 ** attempt))
+                sleep_s = backoff_s * (2 ** attempt)
+                if deadline is not None:
+                    sleep_s = min(sleep_s, deadline - time.monotonic())
+                    if sleep_s <= 0:
+                        continue  # deadline check at loop top ends this
+                time.sleep(sleep_s)
                 continue
             self._sock = sock
             self._rfile = sock.makefile("rb")
             self.reconnects += 1
+            self.closed = False
             return
-        assert last is not None
+        if last is None:
+            raise TimeoutError(
+                f"reconnect deadline of {deadline_s}s expired before the "
+                "first dial attempt"
+            )
         raise last
 
     def durable_offset(self, stream: str = DEFAULT_STREAM) -> int:
@@ -168,8 +203,21 @@ class ServeClient:
     def flush(self, stream: str = DEFAULT_STREAM) -> dict:
         return self.command(f"FLUSH {stream}")
 
-    def results(self, stream: str = DEFAULT_STREAM, since: int = -1) -> dict:
-        suffix = f" --since {since}" if since >= 0 else ""
+    def results(
+        self, stream: str = DEFAULT_STREAM, since: int | str = -1
+    ) -> dict:
+        """Committed windows past a cursor.
+
+        ``since`` is a plain solve index, or — against a router — the
+        opaque vector-cursor token (``v@...``) the previous RESULTS
+        reply returned as ``"cursor"``. Pass that token back verbatim to
+        page without losing or duplicating a window across shard
+        failover or migration.
+        """
+        if isinstance(since, str):
+            suffix = f" --since {since}" if since else ""
+        else:
+            suffix = f" --since {since}" if since >= 0 else ""
         return self.command(f"RESULTS {stream}{suffix}")
 
     def estimates(self, stream: str = DEFAULT_STREAM) -> dict:
@@ -195,6 +243,10 @@ class ServeClient:
             pass
 
     def close(self) -> None:
+        """Close the connection; safe to call any number of times."""
+        if self.closed:
+            return
+        self.closed = True
         try:
             self._rfile.close()
         except OSError:

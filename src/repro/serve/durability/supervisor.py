@@ -112,13 +112,33 @@ class Supervisor:
     def _forward(self, signum, frame) -> None:
         """Pass SIGTERM/SIGINT to the child; remember we are stopping
         so its exit is treated as shutdown, not a crash."""
+        self.stop(signum)
+
+    def stop(self, sig: int = signal.SIGTERM) -> None:
+        """Programmatic stop (thread-safe): signal the child and treat
+        its exit as shutdown, not a crash. The router uses this — its
+        shard supervisors run on worker threads, where installing
+        signal handlers is impossible."""
         self._stop_requested = True
         child = self._child
         if child is not None and child.poll() is None:
             try:
-                child.send_signal(signum)
+                child.send_signal(sig)
             except (ProcessLookupError, OSError):
                 pass
+
+    @property
+    def child_pid(self) -> int | None:
+        """PID of the live child, or ``None`` between incarnations.
+
+        Exposed for fault-injection tests (SIGKILL a shard mid-stream)
+        and operator tooling; the pid may be stale by the time it is
+        used — that is inherent to pids.
+        """
+        child = self._child
+        if child is None or child.poll() is not None:
+            return None
+        return child.pid
 
     def _tee_stderr(self, child: subprocess.Popen) -> threading.Thread:
         def pump() -> None:

@@ -1,0 +1,17 @@
+"""Sharded serve tier: consistent-hash router over N shard processes.
+
+* :mod:`~repro.serve.router.ring` — deterministic consistent-hash ring
+  (BLAKE2b virtual nodes) mapping stream ids onto shards.
+* :mod:`~repro.serve.router.router` — the asyncio front door: client
+  listeners, per-shard backend connections with resend buffers and
+  bounded failover, live stream migration (EXPORT/IMPORT on the durable
+  state codec), and the vector-cursor RESULTS surface.
+
+``domo route --shards N --state-dir DIR --socket PATH`` is the CLI
+entry point; see DESIGN.md §9 for the protocol and invariants.
+"""
+
+from repro.serve.router.ring import HashRing
+from repro.serve.router.router import RouterServer, ShardSpec
+
+__all__ = ["HashRing", "RouterServer", "ShardSpec"]

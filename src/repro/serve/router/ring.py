@@ -1,0 +1,128 @@
+"""Consistent-hash ring assigning stream ids to shards.
+
+Placement must be a pure function of ``(shard set, stream id)``:
+
+* **Deterministic across processes.** The router that spawned the
+  shards, a restarted router recovering its topology, and a test
+  subprocess verifying placement must all agree. That rules out
+  Python's built-in ``hash`` (salted per process by ``PYTHONHASHSEED``)
+  — points come from BLAKE2b instead.
+* **Minimal remapping.** When a shard joins or leaves, only the streams
+  whose arc it owned move (expected ``1/N`` of them, bounded well under
+  ``2/N`` with enough virtual nodes); everything else keeps its shard,
+  its WAL directory, and its warm engine. A modulo assignment would
+  reshuffle nearly everything on every topology change, turning one
+  drain into a cluster-wide migration storm.
+
+Each shard contributes ``replicas`` virtual points ``blake2b(f"{shard}
+#{i}")``; a stream lands on the first point clockwise from
+``blake2b(stream_id)``. Lookup is a binary search over the sorted point
+list — O(log(N·replicas)) with no per-stream state anywhere.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    """A position on the ring: 64 bits of BLAKE2b over the UTF-8 key."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named shards.
+
+    Args:
+        shards: initial shard names.
+        replicas: virtual points per shard. More points smooth the
+            load split and tighten the remap bound at the cost of a
+            larger (still tiny) sorted array.
+    """
+
+    def __init__(self, shards=(), *, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._shards: set[str] = set()
+        #: sorted, parallel arrays: point value -> owning shard.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    # -- topology ------------------------------------------------------
+
+    def add(self, shard: str) -> None:
+        if not isinstance(shard, str) or not shard:
+            raise ValueError(f"shard name must be a nonempty string: {shard!r}")
+        if shard in self._shards:
+            return
+        self._shards.add(shard)
+        for i in range(self.replicas):
+            point = _point(f"{shard}#{i}")
+            at = bisect.bisect_left(self._points, point)
+            # Tie-break colliding points by shard name so insertion
+            # order cannot influence placement.
+            while (
+                at < len(self._points)
+                and self._points[at] == point
+                and self._owners[at] < shard
+            ):
+                at += 1
+            self._points.insert(at, point)
+            self._owners.insert(at, shard)
+
+    def remove(self, shard: str) -> None:
+        if shard not in self._shards:
+            return
+        self._shards.discard(shard)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    # -- placement -----------------------------------------------------
+
+    def owner(self, stream_id: str) -> str:
+        """The shard owning ``stream_id`` under the current topology.
+
+        Any string keys — including ``""`` and unicode ids the wire
+        protocol would reject — hash to a stable position, so callers
+        never need a pre-validation special case.
+        """
+        return self._walk(stream_id, exclude=frozenset())
+
+    def successor(self, stream_id: str, exclude) -> str:
+        """The first shard clockwise from the stream, skipping
+        ``exclude`` — the migration target when the owner drains."""
+        return self._walk(stream_id, exclude=frozenset(exclude))
+
+    def _walk(self, stream_id: str, exclude: frozenset) -> str:
+        candidates = self._shards - exclude
+        if not candidates:
+            raise LookupError("no shards on the ring")
+        start = bisect.bisect_right(self._points, _point(str(stream_id)))
+        n = len(self._points)
+        for offset in range(n):
+            owner = self._owners[(start + offset) % n]
+            if owner not in exclude:
+                return owner
+        raise LookupError("no shards on the ring")  # pragma: no cover

@@ -1,0 +1,779 @@
+"""The sharded serve tier's front door.
+
+One :class:`RouterServer` owns the client-facing listeners and fans the
+line protocol out over N shard processes, each a full
+:class:`~repro.serve.server.ReconstructionServer` with its own WAL
+directory, reached over an internal unix socket::
+
+    clients ──▶ RouterServer ──ring──▶ shard-0  (ReconstructionServer,
+                │   │                  wal-dir 0, supervised child)
+                │   └────────────────▶ shard-1  (…)
+                └────────────────────▶ shard-2  (…)
+
+* **Placement** is the consistent-hash ring (:mod:`.ring`): each
+  ``stream_id`` lives on exactly one shard, so per-stream ordering and
+  the engine's bit-exactness guarantees carry over unchanged — the
+  router adds distribution, not reordering. Migration pins exceptions
+  in an overrides table (persisted to ``routing.json`` when the router
+  has a state dir).
+* **Forwarding** re-encodes each accepted record with the canonical
+  wire encoder and appends it to a per-stream resend buffer before
+  writing it to the shard, so the router always knows the exact tail a
+  crashed shard may not have made durable.
+* **Failover**: a dead backend connection is re-dialed under a total
+  deadline (the supervisor restarts the shard underneath), then every
+  buffered stream is resynced — ask the shard's ``records_durable``,
+  trim the buffer to it, resend the rest. Nothing acknowledged is lost,
+  nothing durable is sent twice.
+* **Migration** (``MIGRATE <stream> [shard]``, and ``DRAIN <shard>``
+  for every stream at once): EXPORT on the source quiesces the stream
+  behind its queue barrier and returns the durable state document;
+  IMPORT on the target rebuilds it bit-exactly and anchors a fresh WAL.
+  Both backend locks are held for the whole handoff and the routing
+  maps flip before they are released, so no record, RESULTS, or FLUSH
+  can slip into the gap and resurrect the stream on the wrong shard.
+* **RESULTS** replies add the vector cursor (``"cursor": "v@…"``)
+  tracking the highest solve index seen per shard; clients hand the
+  token back as ``--since`` and never lose or re-read a window across
+  failover or migration (see :mod:`repro.serve.protocol`).
+* **Shutdown** drains clients, sends QUIT to every backend, SIGTERMs
+  the supervised shards (each drains and writes its own run report),
+  then merges the shard reports into this process's registry so the
+  router's ``domo.run_report/1`` covers the whole tier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+import threading
+
+from repro.obs.registry import isolated_registry
+from repro.obs.report import (
+    RunReport,
+    build_run_report,
+    report_registry_snapshot,
+    write_run_report,
+)
+from repro.obs.spans import span
+from repro.serve.client import ServeClient, connect as serve_connect
+from repro.serve.core import LineProtocolServer
+from repro.serve.durability.supervisor import CrashLoopError, Supervisor
+from repro.serve.protocol import (
+    CommandLine,
+    ProtocolError,
+    RecordLine,
+    cursor_since,
+    encode_record,
+    encode_vector_cursor,
+    error_response,
+    merge_vector_cursor,
+    parse_since,
+)
+from repro.serve.router.ring import HashRing
+
+__all__ = ["RouterServer", "ShardSpec"]
+
+ROUTING_SCHEMA = "domo.routing/1"
+
+#: errors that mean "the shard connection is gone" (mirrors client.py).
+_RESET_ERRORS = (ConnectionError, BrokenPipeError, TimeoutError, OSError)
+
+
+class ShardSpec:
+    """One shard of the tier: a name, its socket, and how to run it.
+
+    Args:
+        name: stable shard name — the ring hashes it, the vector cursor
+            carries it, and the WAL directory is keyed by it, so it must
+            survive router restarts.
+        socket_path: the shard's internal unix socket.
+        argv: full child command line (``domo serve --socket … --wal-dir
+            …``). When set, the router runs the shard under a
+            :class:`Supervisor` (crash → restart with backoff); when
+            ``None`` the shard is externally managed and the router only
+            connects (in-process test servers, pre-provisioned fleets).
+        metrics_path: where the shard writes its shutdown run report;
+            merged into the router's report at drain time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        socket_path: str,
+        *,
+        argv: list[str] | None = None,
+        metrics_path: str | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("shard name must be nonempty")
+        self.name = name
+        self.socket_path = socket_path
+        self.argv = list(argv) if argv else None
+        self.metrics_path = metrics_path
+
+
+class _StreamBuffer:
+    """The unacknowledged tail of one stream's forwarded records.
+
+    ``base`` counts records known durable on the owning shard (trimmed
+    away); ``lines`` holds the raw wire lines past that point. The
+    invariant ``base + len(lines) == records ever forwarded`` is what
+    lets a failover resume from any ``records_durable`` the restarted
+    shard reports.
+    """
+
+    __slots__ = ("base", "lines")
+
+    def __init__(self) -> None:
+        self.base = 0
+        self.lines: list[bytes] = []
+
+    @property
+    def total(self) -> int:
+        return self.base + len(self.lines)
+
+    def trim(self, durable: int) -> None:
+        if durable > self.base:
+            del self.lines[: durable - self.base]
+            self.base = durable
+
+
+class ShardBackend:
+    """One shard's connection, resend buffers, and failover policy.
+
+    Every method suffixed ``_sync`` blocks (socket I/O) and must run
+    via ``asyncio.to_thread`` while holding :attr:`lock` — the lock is
+    what serializes forwards, commands, and migrations per shard, and
+    thereby preserves per-stream record order end to end.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        *,
+        dial_timeout_s: float = 600.0,
+        connect_retries: int = 8,
+        connect_backoff_s: float = 0.1,
+        failover_retries: int = 10,
+        failover_backoff_s: float = 0.2,
+        failover_deadline_s: float = 15.0,
+    ) -> None:
+        self.spec = spec
+        self.lock = asyncio.Lock()
+        self.client: ServeClient | None = None
+        self.buffers: dict[str, _StreamBuffer] = {}
+        self.dial_timeout_s = dial_timeout_s
+        self.connect_retries = connect_retries
+        self.connect_backoff_s = connect_backoff_s
+        self.failover_retries = failover_retries
+        self.failover_backoff_s = failover_backoff_s
+        self.failover_deadline_s = failover_deadline_s
+        self.records_forwarded = 0
+        self.records_resent = 0
+        self.failovers = 0
+
+    # -- connection ----------------------------------------------------
+
+    def connect_sync(self) -> None:
+        """Dial the shard, retrying while it boots/recovers."""
+        if self.client is not None and not self.client.closed:
+            return
+        self.client = serve_connect(
+            socket_path=self.spec.socket_path,
+            timeout=self.dial_timeout_s,
+            connect_retries=self.connect_retries,
+            retry_backoff_s=self.connect_backoff_s,
+        )
+
+    def close_sync(self) -> None:
+        if self.client is not None:
+            self.client.quit()
+            self.client.close()
+
+    def _failover_sync(self) -> None:
+        """Reconnect under the total deadline, then resync every stream.
+
+        The supervisor is restarting the shard underneath; once it is
+        back, each buffered stream is trimmed to the shard's recovered
+        ``records_durable`` and the unacknowledged tail is resent — the
+        same contract ``send_packets_resumable`` gives a direct client,
+        applied to every stream this shard owns at once.
+        """
+        assert self.client is not None
+        self.client.reconnect(
+            retries=self.failover_retries,
+            backoff_s=self.failover_backoff_s,
+            deadline_s=self.failover_deadline_s,
+        )
+        self.failovers += 1
+        for stream, buffer in sorted(self.buffers.items()):
+            durable = self.client.durable_offset(stream)
+            buffer.trim(durable)
+            for line in buffer.lines:
+                self.client.send_raw(line)
+            self.records_resent += len(buffer.lines)
+
+    # -- operations (all under self.lock, via to_thread) ---------------
+
+    def forward_sync(self, stream: str, data: bytes) -> None:
+        """Buffer + forward one record line; failover covers the send."""
+        self.connect_sync()
+        buffer = self.buffers.get(stream)
+        if buffer is None:
+            buffer = self.buffers[stream] = _StreamBuffer()
+        # Buffer before send: if the send dies halfway, the resync path
+        # resends this line from the buffer rather than losing it.
+        buffer.lines.append(data)
+        try:
+            self.client.send_raw(data)
+        except _RESET_ERRORS:
+            self._failover_sync()  # resends the tail, including `data`
+        self.records_forwarded += 1
+
+    def command_sync(self, line: str) -> dict:
+        """Round-trip one command, with one failover retry."""
+        self.connect_sync()
+        try:
+            return self.client.command(line)
+        except _RESET_ERRORS:
+            self._failover_sync()
+            return self.client.command(line)
+
+    def results_sync(self, stream: str, since: int) -> dict:
+        """RESULTS round-trip; a good reply also trims the buffer —
+        ``records_durable`` is the shard acknowledging the prefix."""
+        reply = self.command_sync(f"RESULTS {stream} --since {since}")
+        if reply.get("ok"):
+            buffer = self.buffers.get(stream)
+            if buffer is not None:
+                buffer.trim(int(reply.get("records_durable", 0)))
+        return reply
+
+    def buffered_lines(self) -> int:
+        return sum(len(b.lines) for b in self.buffers.values())
+
+
+class RouterServer(LineProtocolServer):
+    """Consistent-hash front door over N reconstruction shards.
+
+    Args:
+        shards: the tier's :class:`ShardSpec` topology.
+        socket_path/host/port: client-facing listeners (as for
+            :class:`~repro.serve.server.ReconstructionServer`).
+        replicas: virtual points per shard on the ring.
+        state_dir: where ``routing.json`` (migration overrides) lives;
+            ``None`` keeps overrides in memory only.
+        failover_deadline_s: total ceiling on one backend failover
+            (dial retries + backoff), bounding the client-visible stall.
+        supervisor_max_restarts / supervisor_backoff_s: crash-loop
+            breaker settings for spawned shards.
+    """
+
+    def __init__(
+        self,
+        shards: list[ShardSpec],
+        *,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        replicas: int = 64,
+        state_dir: str | None = None,
+        failover_deadline_s: float = 15.0,
+        supervisor_max_restarts: int = 5,
+        supervisor_backoff_s: float = 0.2,
+        metrics_out: str | None = None,
+        argv: list[str] | None = None,
+        on_ready=None,
+    ) -> None:
+        super().__init__(
+            socket_path=socket_path, host=host, port=port, on_ready=on_ready
+        )
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        names = [spec.name for spec in shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names in {names}")
+        self.shards = list(shards)
+        self.ring = HashRing(names, replicas=replicas)
+        self.backends = {
+            spec.name: ShardBackend(
+                spec, failover_deadline_s=failover_deadline_s
+            )
+            for spec in shards
+        }
+        self.state_dir = state_dir
+        self.metrics_out = metrics_out
+        self.argv = list(argv or [])
+        self.supervisor_max_restarts = supervisor_max_restarts
+        self.supervisor_backoff_s = supervisor_backoff_s
+        #: the shutdown RunReport, populated when :meth:`run` returns.
+        self.report: RunReport | None = None
+        self.migrations = 0
+
+        #: migration pins: stream -> shard, overriding the ring.
+        self._overrides: dict[str, str] = {}
+        #: current placement of every stream the router has seen.
+        self._streams: dict[str, str] = {}
+        self._drained: set[str] = set()
+        self._migration_lock: asyncio.Lock | None = None
+        self._supervisors: dict[str, Supervisor] = {}
+        self._supervisor_threads: dict[str, threading.Thread] = {}
+        self._shard_errors: dict[str, str] = {}
+        if state_dir is not None:
+            self._load_routing()
+
+    # ------------------------------------------------------------------
+    # Routing state
+    # ------------------------------------------------------------------
+
+    def _routing_path(self) -> str:
+        assert self.state_dir is not None
+        return os.path.join(self.state_dir, "routing.json")
+
+    def _load_routing(self) -> None:
+        try:
+            with open(self._routing_path(), encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return
+        if data.get("schema") != ROUTING_SCHEMA:
+            raise ValueError(
+                f"unexpected routing state schema {data.get('schema')!r} "
+                f"in {self._routing_path()}"
+            )
+        overrides = data.get("overrides", {})
+        self._overrides = {
+            stream: shard
+            for stream, shard in overrides.items()
+            if shard in self.backends
+        }
+        self._streams.update(self._overrides)
+
+    def _save_routing(self) -> None:
+        if self.state_dir is None:
+            return
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = self._routing_path()
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"schema": ROUTING_SCHEMA, "overrides": self._overrides},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def owner_of(self, stream: str) -> str:
+        """Where a stream's records go right now: migration override,
+        else last known placement, else the ring."""
+        shard = self._overrides.get(stream) or self._streams.get(stream)
+        if shard is not None:
+            return shard
+        return self.ring.owner(stream)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def _run_core(self) -> RunReport:
+        self._migration_lock = asyncio.Lock()
+        with isolated_registry() as registry:
+            with span("run"):
+                with span("spawn"):
+                    await asyncio.to_thread(self._start_shards)
+                with span("serve"):
+                    await self._serve_until_shutdown()
+                with span("drain"):
+                    await self._drain()
+            self._merge_shard_reports(registry)
+            self.report = build_run_report(
+                "route",
+                argv=self.argv,
+                config={
+                    "shards": [spec.name for spec in self.shards],
+                    "replicas": self.ring.replicas,
+                },
+                stats=self.stats(),
+                registry=registry,
+            )
+        if self.metrics_out:
+            write_run_report(self.metrics_out, self.report)
+        return self.report
+
+    def _start_shards(self) -> None:
+        """Spawn supervised shard children, then dial every backend."""
+        for spec in self.shards:
+            if spec.argv is None:
+                continue
+            supervisor = Supervisor(
+                spec.argv,
+                max_restarts=self.supervisor_max_restarts,
+                backoff_s=self.supervisor_backoff_s,
+            )
+            self._supervisors[spec.name] = supervisor
+            thread = threading.Thread(
+                target=self._run_supervisor,
+                args=(spec.name, supervisor),
+                name=f"domo-shard-{spec.name}",
+                daemon=True,
+            )
+            self._supervisor_threads[spec.name] = thread
+            thread.start()
+        for name in sorted(self.backends):
+            self.backends[name].connect_sync()
+
+    def _run_supervisor(self, name: str, supervisor: Supervisor) -> None:
+        try:
+            supervisor.run()
+        except CrashLoopError as exc:
+            # The breaker tripped: the shard is gone for good. Record
+            # it so HEALTH/STATS surface the reason; in-flight commands
+            # fail on their reconnect deadline.
+            self._shard_errors[name] = str(exc)
+        except Exception as exc:  # noqa: BLE001 - never kill the router
+            self._shard_errors[name] = f"{type(exc).__name__}: {exc}"
+
+    async def _drain(self) -> None:
+        await self._close_connections()
+        for name in sorted(self.backends):
+            backend = self.backends[name]
+            async with backend.lock:
+                try:
+                    await asyncio.to_thread(backend.close_sync)
+                except _RESET_ERRORS:
+                    pass
+        await asyncio.to_thread(self._stop_shards)
+
+    def _stop_shards(self) -> None:
+        for supervisor in self._supervisors.values():
+            supervisor.stop()
+        for thread in self._supervisor_threads.values():
+            thread.join(timeout=60.0)
+
+    def _merge_shard_reports(self, registry) -> None:
+        """Fold each shard's shutdown report into the router registry,
+        re-rooted under ``shards/<name>/`` so the merged
+        ``domo.run_report/1`` covers the whole tier."""
+        for spec in self.shards:
+            if not spec.metrics_path:
+                continue
+            try:
+                with open(spec.metrics_path, encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except (OSError, ValueError):
+                continue  # shard killed before writing; nothing to merge
+            registry.merge(
+                report_registry_snapshot(data, prefix=f"shards/{spec.name}")
+            )
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+
+    async def _with_stream_backend(self, stream: str, op):
+        """Run a blocking backend op for a stream, under its shard's
+        lock, re-resolving ownership after the lock is acquired.
+
+        A migration holds both backend locks and flips the routing maps
+        before releasing them, so an operation that waited out a
+        migration sees the new owner here and retries against it —
+        records can never leak to a shard the stream just left.
+        """
+        while True:
+            shard = self.owner_of(stream)
+            backend = self.backends[shard]
+            async with backend.lock:
+                if self.owner_of(stream) != shard:
+                    continue
+                result = await asyncio.to_thread(op, backend)
+                self._streams[stream] = shard
+                return shard, result
+
+    async def handle_record(
+        self, conn_id: int, record: RecordLine, writer
+    ) -> None:
+        data = encode_record(record.stream, record.packet)
+        try:
+            await self._with_stream_backend(
+                record.stream,
+                lambda backend: backend.forward_sync(record.stream, data),
+            )
+        except Exception as exc:  # noqa: BLE001 - shard down past deadline
+            self._records_rejected += 1
+            await self._send(
+                writer,
+                error_response(
+                    f"shard unavailable for stream {record.stream!r}: "
+                    f"{type(exc).__name__}: {exc}",
+                    stream=record.stream,
+                    **{"async": True},
+                ),
+            )
+            return
+        self._records_accepted += 1
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    async def handle_command(self, cmd: CommandLine) -> dict:
+        try:
+            if cmd.verb == "HEALTH":
+                return await self._cmd_fanout("HEALTH")
+            if cmd.verb == "STATS":
+                return await self._cmd_fanout("STATS")
+            if cmd.verb == "RESULTS":
+                return await self._cmd_results(cmd.args)
+            if cmd.verb == "FLUSH":
+                return await self._cmd_flush(cmd.args)
+            if cmd.verb == "MIGRATE":
+                return await self._cmd_migrate(cmd.args)
+            if cmd.verb == "DRAIN":
+                return await self._cmd_drain(cmd.args)
+            if cmd.verb == "QUIT":
+                return {"ok": True, "bye": True}
+            return error_response(f"unknown command {cmd.verb!r}")
+        except ProtocolError as exc:
+            return error_response(str(exc))
+        except Exception as exc:  # noqa: BLE001 - one bad command must
+            # never take the router down; the client gets the reason.
+            return error_response(f"{type(exc).__name__}: {exc}")
+
+    async def _cmd_fanout(self, verb: str) -> dict:
+        """HEALTH/STATS across every shard, merged into one reply."""
+
+        async def one(name: str) -> tuple[str, dict]:
+            backend = self.backends[name]
+            try:
+                async with backend.lock:
+                    reply = await asyncio.to_thread(
+                        backend.command_sync, verb
+                    )
+            except Exception as exc:  # noqa: BLE001 - report, don't raise
+                reply = error_response(f"{type(exc).__name__}: {exc}")
+                if name in self._shard_errors:
+                    reply["crash_loop"] = self._shard_errors[name]
+            return name, reply
+
+        pairs = await asyncio.gather(*(one(n) for n in sorted(self.backends)))
+        per_shard = dict(pairs)
+        healthy = all(reply.get("ok") for reply in per_shard.values())
+        reply = {
+            "ok": healthy,
+            "status": "routing",
+            "shards": per_shard,
+        }
+        if verb == "STATS":
+            own = self.stats()
+            reply["router"] = own["router"]
+            reply["routing"] = own["shards"]
+        else:
+            reply["streams"] = len(self._streams)
+            reply["ring"] = list(self.ring.shards)
+        return reply
+
+    async def _cmd_results(self, args: tuple[str, ...]) -> dict:
+        if not args:
+            raise ProtocolError("RESULTS needs a stream id")
+        stream = args[0]
+        since: int | dict[str, int] = -1
+        rest = list(args[1:])
+        while rest:
+            flag = rest.pop(0)
+            if flag == "--since" and rest:
+                since = parse_since(rest.pop(0))
+            else:
+                raise ProtocolError(f"unknown RESULTS argument {flag!r}")
+        effective = cursor_since(since)
+        shard, reply = await self._with_stream_backend(
+            stream, lambda backend: backend.results_sync(stream, effective)
+        )
+        if reply.get("ok"):
+            entries = merge_vector_cursor(
+                since, shard, int(reply.get("last_solve_index", -1))
+            )
+            reply["cursor"] = encode_vector_cursor(entries)
+        reply["shard"] = shard
+        return reply
+
+    async def _cmd_flush(self, args: tuple[str, ...]) -> dict:
+        if len(args) != 1:
+            raise ProtocolError("FLUSH needs exactly one stream id")
+        stream = args[0]
+        shard, reply = await self._with_stream_backend(
+            stream, lambda backend: backend.command_sync(f"FLUSH {stream}")
+        )
+        reply["shard"] = shard
+        return reply
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+
+    async def _cmd_migrate(self, args: tuple[str, ...]) -> dict:
+        if not args or len(args) > 2:
+            raise ProtocolError("MIGRATE takes a stream id and optionally "
+                                "a target shard")
+        stream = args[0]
+        assert self._migration_lock is not None
+        async with self._migration_lock:
+            source = self.owner_of(stream)
+            if len(args) == 2:
+                target = args[1]
+                if target not in self.backends:
+                    return error_response(f"unknown shard {target!r}")
+                if target in self._drained:
+                    return error_response(f"shard {target!r} is drained")
+            else:
+                try:
+                    target = self.ring.successor(stream, exclude={source})
+                except LookupError:
+                    return error_response(
+                        "no other shard to migrate to"
+                    )
+            if target == source:
+                return {
+                    "ok": True,
+                    "stream": stream,
+                    "from": source,
+                    "to": target,
+                    "noop": True,
+                }
+            return await self._migrate(stream, source, target)
+
+    async def _migrate(self, stream: str, source: str, target: str) -> dict:
+        """EXPORT on the source, IMPORT on the target, flip the maps.
+
+        Both backend locks are held for the whole handoff (migrations
+        are serialized by ``_migration_lock``, so the two-lock acquire
+        cannot deadlock another migration, and forwards only ever hold
+        one lock without waiting for a second). The routing maps flip
+        *inside* the locks: any record or command that was parked on
+        either lock re-resolves ownership afterwards and lands on the
+        target — after its IMPORT, never before.
+        """
+        src = self.backends[source]
+        dst = self.backends[target]
+        async with src.lock:
+            async with dst.lock:
+                exported = await asyncio.to_thread(
+                    src.command_sync, f"EXPORT {stream}"
+                )
+                if not exported.get("ok"):
+                    exported.setdefault("stream", stream)
+                    exported["from"] = source
+                    return exported
+                document = exported["state"]
+                blob = base64.b64encode(
+                    json.dumps(
+                        document, separators=(",", ":"), allow_nan=False
+                    ).encode("utf-8")
+                ).decode("ascii")
+                imported = await asyncio.to_thread(
+                    dst.command_sync, f"IMPORT {stream} {blob}"
+                )
+                if not imported.get("ok"):
+                    # Undo: the source already retired the stream, so
+                    # push the document back where it came from rather
+                    # than stranding the only copy in router memory.
+                    restored = await asyncio.to_thread(
+                        src.command_sync, f"IMPORT {stream} {blob}"
+                    )
+                    return error_response(
+                        f"IMPORT on {target!r} failed: "
+                        f"{imported.get('error')} (state restored to "
+                        f"{source!r}: {bool(restored.get('ok'))})",
+                        stream=stream,
+                    )
+                # Hand the resend buffer over with the stream, trimmed
+                # to what the target just made durable.
+                buffer = src.buffers.pop(stream, None)
+                if buffer is None:
+                    buffer = _StreamBuffer()
+                buffer.trim(int(imported.get("records_durable", 0)))
+                for line in buffer.lines:  # unacked tail, if any
+                    await asyncio.to_thread(dst.client.send_raw, line)
+                    dst.records_resent += 1
+                dst.buffers[stream] = buffer
+                self._overrides[stream] = target
+                self._streams[stream] = target
+                self._save_routing()
+                self.migrations += 1
+        return {
+            "ok": True,
+            "stream": stream,
+            "from": source,
+            "to": target,
+            "records_durable": imported.get("records_durable"),
+            "windows_committed": imported.get("windows_committed"),
+        }
+
+    async def _cmd_drain(self, args: tuple[str, ...]) -> dict:
+        if len(args) != 1:
+            raise ProtocolError("DRAIN needs exactly one shard name")
+        shard = args[0]
+        if shard not in self.backends:
+            return error_response(f"unknown shard {shard!r}")
+        assert self._migration_lock is not None
+        async with self._migration_lock:
+            if shard in self._drained:
+                return error_response(f"shard {shard!r} already drained")
+            if len(self.ring) <= 1:
+                return error_response("cannot drain the last shard")
+            # Off the ring first: new streams stop landing here. Known
+            # streams keep routing to it via _streams until each one's
+            # migration flips the maps.
+            self.ring.remove(shard)
+            self._drained.add(shard)
+            moved = []
+            for stream in sorted(
+                s for s, owner in self._streams.items() if owner == shard
+            ):
+                target = self.ring.owner(stream)
+                result = await self._migrate(stream, shard, target)
+                moved.append(result)
+        return {
+            "ok": all(entry.get("ok") for entry in moved),
+            "shard": shard,
+            "migrated": moved,
+            "ring": list(self.ring.shards),
+        }
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        shards = {}
+        for name in sorted(self.backends):
+            backend = self.backends[name]
+            shards[name] = {
+                "socket": backend.spec.socket_path,
+                "supervised": backend.spec.argv is not None,
+                "streams": len(backend.buffers),
+                "buffered_lines": backend.buffered_lines(),
+                "records_forwarded": backend.records_forwarded,
+                "records_resent": backend.records_resent,
+                "failovers": backend.failovers,
+                "drained": name in self._drained,
+            }
+            if name in self._shard_errors:
+                shards[name]["crash_loop"] = self._shard_errors[name]
+        return {
+            "router": {
+                **self.connection_stats(),
+                "streams": len(self._streams),
+                "overrides": len(self._overrides),
+                "migrations": self.migrations,
+                "ring": {
+                    "shards": list(self.ring.shards),
+                    "replicas": self.ring.replicas,
+                },
+            },
+            "shards": shards,
+        }

@@ -9,14 +9,17 @@ Architecture (one box per concurrency domain)::
          │                                                     │
          └── commands ◀── strict-JSON replies                  └─▶ SharedSolverPool
 
-* **Readers** (one coroutine per connection) split lines, parse records
-  and commands (:mod:`repro.serve.protocol`), and enqueue records onto
-  their stream's bounded queue. A full queue blocks the ``put``, which
-  stops the reader, which stops reading the socket, which fills the
-  kernel buffers, which blocks the client's ``send`` — backpressure is
-  the transport's own flow control, so an overloaded server slows
-  producers down instead of buffering without bound or dropping
-  accepted records.
+The listener/connection half (readers, line parsing, strict-JSON
+replies, signal wiring, orderly close) lives in
+:class:`~repro.serve.core.LineProtocolServer`; this module is the
+serving core — what a parsed line *means*:
+
+* **Readers** (one coroutine per connection) enqueue records onto their
+  stream's bounded queue. A full queue blocks the ``put``, which stops
+  the reader, which stops reading the socket, which fills the kernel
+  buffers, which blocks the client's ``send`` — backpressure is the
+  transport's own flow control, so an overloaded server slows producers
+  down instead of buffering without bound or dropping accepted records.
 * **Pumps** (one per stream) batch records off the queue and run
   ``session.ingest`` in a worker thread (``asyncio.to_thread``) under
   the stream's asyncio lock, so the event loop never blocks on a solve
@@ -24,7 +27,12 @@ Architecture (one box per concurrency domain)::
 * **Solves** are multiplexed over one shared
   :class:`~repro.serve.pool.SharedSolverPool` with round-robin fairness
   across streams.
-* **Shutdown** (SIGTERM/SIGINT or :meth:`request_shutdown`) drains in
+* **Migration** (``EXPORT``/``IMPORT``, driven by the router in
+  :mod:`repro.serve.router`): EXPORT quiesces a stream behind its queue
+  barrier and hands its full durable state document to the caller,
+  retiring the local session; IMPORT adopts such a document bit-exactly
+  and anchors a fresh WAL with an adoption snapshot.
+* **Shutdown** (SIGTERM/SIGINT or ``request_shutdown``) drains in
   order: stop accepting, close readers, flush the queues through the
   pumps, final-flush every session (sealing and committing every open
   window), close the pool, then write the ``domo.run_report/1`` with
@@ -34,22 +42,24 @@ Architecture (one box per concurrency domain)::
 from __future__ import annotations
 
 import asyncio
-import os
-import signal
+import base64
+import binascii
+import json
 import threading
 
 from repro.core.pipeline import DomoConfig
 from repro.obs.registry import isolated_registry
 from repro.obs.report import RunReport, build_run_report, write_run_report
 from repro.obs.spans import span
+from repro.serve.core import LineProtocolServer
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     CommandLine,
     ProtocolError,
     RecordLine,
-    encode_response,
+    cursor_since,
     error_response,
-    parse_line,
+    parse_since,
 )
 from repro.serve.durability import DurabilityConfig
 from repro.serve.session import SessionLimitError, SessionManager, StreamSession
@@ -66,9 +76,10 @@ class _StreamLane:
         self.lock = asyncio.Lock()
         self.pump: asyncio.Task | None = None
         self.stopping = False
-        #: set (on the event loop) the moment an eviction flush starts,
-        #: so records racing the worker-thread drain are rejected up
-        #: front instead of being ingested into a drained engine.
+        #: set (on the event loop) the moment an eviction flush or an
+        #: EXPORT starts, so records racing the worker-thread drain are
+        #: rejected up front instead of being ingested into a drained
+        #: (or departed) engine.
         self.draining = False
         #: first ingest failure (e.g. a strict-validation rejection);
         #: once set, the pump discards instead of ingesting and new
@@ -76,7 +87,7 @@ class _StreamLane:
         self.failed: str | None = None
 
 
-class ReconstructionServer:
+class ReconstructionServer(LineProtocolServer):
     """Line-protocol reconstruction service over TCP and/or unix sockets.
 
     Args:
@@ -104,6 +115,9 @@ class ReconstructionServer:
             this window to adopt the stream; afterwards records are
             refused (with an error line) rather than racing the drain.
             Shutdown skips the grace entirely.
+        max_line_bytes: per-connection readline limit. A shard behind a
+            router raises this to ``MAX_ADMIN_LINE_BYTES`` so IMPORT
+            lines (a whole exported stream) fit on the internal socket.
     """
 
     def __init__(
@@ -122,21 +136,22 @@ class ReconstructionServer:
         adoption_grace_s: float = 0.25,
         argv: list[str] | None = None,
         on_ready=None,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
-        if socket_path is None and port is None:
-            raise ValueError("need a unix socket path and/or a TCP port")
+        super().__init__(
+            socket_path=socket_path,
+            host=host,
+            port=port,
+            max_line_bytes=max_line_bytes,
+            on_ready=on_ready,
+        )
         if chunk < 1 or queue_capacity < 1:
             raise ValueError("chunk and queue_capacity must be >= 1")
         self.config = config or DomoConfig()
-        self.socket_path = socket_path
-        self.host = host
-        self.port = port
         self.chunk = chunk
         self.queue_capacity = queue_capacity
         self.metrics_out = metrics_out
         self.argv = list(argv or [])
-        #: called with the server once the listeners are up (CLI banner).
-        self.on_ready = on_ready
         self.manager = SessionManager(
             self.config,
             lateness_ms=lateness_ms,
@@ -147,216 +162,71 @@ class ReconstructionServer:
         #: per-stream recovery summary, populated by :meth:`run` when
         #: durability is configured (also surfaced under STATS).
         self.recovery: dict = {}
-        #: "unix:<path>" / "tcp:<host>:<port>" actually listening.
-        self.endpoints: list[str] = []
         #: the shutdown RunReport, populated when :meth:`run` returns.
         self.report: RunReport | None = None
 
         self._lanes: dict[str, _StreamLane] = {}
-        self._servers: list[asyncio.AbstractServer] = []
-        self._conn_tasks: set[asyncio.Task] = set()
-        self._bg_tasks: set[asyncio.Task] = set()
-        self._next_conn_id = 0
-        self._records_accepted = 0
-        self._records_rejected = 0
-        self._records_dropped = 0
-        self._connections_total = 0
-        self._shutdown: asyncio.Event | None = None
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._ready = threading.Event()
+        # Guards _lanes itself (not lane internals): mutations happen on
+        # the event loop, but stats() snapshots the map from arbitrary
+        # threads (a router health poller, tests).
+        self._lanes_lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle (the serving core run by LineProtocolServer.run)
     # ------------------------------------------------------------------
 
-    async def run(self) -> RunReport:
-        """Serve until SIGTERM/SIGINT/:meth:`request_shutdown`, drain,
-        and return (and optionally write) the run report."""
-        self._loop = asyncio.get_running_loop()
-        self._shutdown = asyncio.Event()
-        handled_signals = []
-        for sig in (signal.SIGTERM, signal.SIGINT):
-            try:
-                self._loop.add_signal_handler(sig, self._shutdown.set)
-                handled_signals.append(sig)
-            except (NotImplementedError, ValueError, RuntimeError):
-                pass  # not the main thread, or platform without support
-        try:
-            with isolated_registry() as registry:
-                with span("run"):
-                    with span("recover"):
-                        # Before any listener: recovered sessions must
-                        # exist before a client can query or feed them.
-                        self.recovery = await asyncio.to_thread(
-                            self.manager.recover_all
-                        )
-                    with span("serve"):
-                        await self._start_listeners()
-                        self._ready.set()
-                        if self.on_ready is not None:
-                            self.on_ready(self)
-                        await self._shutdown.wait()
-                    with span("drain"):
-                        await self._drain()
-                for session in self.manager._sessions.values():
-                    registry.merge(session.registry.snapshot())
-                registry.merge(self.manager.pool.registry.snapshot())
-                self.report = build_run_report(
-                    "serve",
-                    argv=self.argv,
-                    config=self.config,
-                    stats=self.stats(),
-                    registry=registry,
-                )
-        finally:
-            self._ready.set()  # never leave run_in_thread waiting
-            for sig in handled_signals:
-                self._loop.remove_signal_handler(sig)
-            if self.socket_path is not None:
-                try:
-                    os.unlink(self.socket_path)
-                except OSError:
-                    pass
+    async def _run_core(self) -> RunReport:
+        """Recover, serve until shutdown, drain, build the run report."""
+        with isolated_registry() as registry:
+            with span("run"):
+                with span("recover"):
+                    # Before any listener: recovered sessions must
+                    # exist before a client can query or feed them.
+                    self.recovery = await asyncio.to_thread(
+                        self.manager.recover_all
+                    )
+                with span("serve"):
+                    await self._serve_until_shutdown()
+                with span("drain"):
+                    await self._drain()
+            registry.merge(self.manager.merged_registry().snapshot())
+            self.report = build_run_report(
+                "serve",
+                argv=self.argv,
+                config=self.config,
+                stats=self.stats(),
+                registry=registry,
+            )
         if self.metrics_out:
             write_run_report(self.metrics_out, self.report)
         return self.report
 
-    def request_shutdown(self) -> None:
-        """Trigger the graceful drain (thread-safe, idempotent)."""
-        loop, event = self._loop, self._shutdown
-        if loop is None or event is None or loop.is_closed():
-            return
-        loop.call_soon_threadsafe(event.set)
-
-    def wait_ready(self, timeout: float | None = None) -> bool:
-        """Block until the listeners are up (for out-of-thread callers)."""
-        return self._ready.wait(timeout)
-
-    async def _start_listeners(self) -> None:
-        if self.socket_path is not None:
-            try:
-                os.unlink(self.socket_path)
-            except OSError:
-                pass
-            server = await asyncio.start_unix_server(
-                self._handle_connection,
-                path=self.socket_path,
-                limit=MAX_LINE_BYTES,
-            )
-            self._servers.append(server)
-            self.endpoints.append(f"unix:{self.socket_path}")
-        if self.port is not None:
-            server = await asyncio.start_server(
-                self._handle_connection,
-                host=self.host,
-                port=self.port,
-                limit=MAX_LINE_BYTES,
-            )
-            self._servers.append(server)
-            bound = server.sockets[0].getsockname()
-            self.port = bound[1]
-            self.endpoints.append(f"tcp:{self.host}:{bound[1]}")
-
     async def _drain(self) -> None:
         """The graceful-shutdown sequence (see module docstring)."""
-        for server in self._servers:
-            server.close()
-            await server.wait_closed()
-        for task in list(self._conn_tasks):
-            task.cancel()
-        if self._conn_tasks:
-            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         # Disconnect-triggered evictions need the pumps alive (they wait
-        # on queue.join()), so settle them before stopping the pumps.
-        if self._bg_tasks:
-            await asyncio.gather(*self._bg_tasks, return_exceptions=True)
-        for lane in self._lanes.values():
+        # on queue.join()), so _close_connections settles them before we
+        # stop the pumps.
+        await self._close_connections()
+        with self._lanes_lock:
+            lanes = list(self._lanes.values())
+        for lane in lanes:
             await lane.queue.put(None)
-        pumps = [lane.pump for lane in self._lanes.values() if lane.pump]
+        pumps = [lane.pump for lane in lanes if lane.pump]
         if pumps:
             await asyncio.gather(*pumps, return_exceptions=True)
         # Everything queued is ingested; seal/solve/commit every open
         # window and shut the solver pool down.
         await asyncio.to_thread(self.manager.close)
 
+    def on_disconnect(self, conn_id: int) -> None:
+        for session in self.manager.disconnect(conn_id):
+            self._spawn(self._evict_when_drained(session))
+
     # ------------------------------------------------------------------
-    # Connections
+    # Records
     # ------------------------------------------------------------------
 
-    async def _handle_connection(self, reader, writer) -> None:
-        conn_id = self._next_conn_id
-        self._next_conn_id += 1
-        self._connections_total += 1
-        task = asyncio.current_task()
-        if task is not None:
-            self._conn_tasks.add(task)
-        try:
-            await self._serve_connection(conn_id, reader, writer)
-        except (asyncio.CancelledError, ConnectionError):
-            pass
-        finally:
-            if task is not None:
-                self._conn_tasks.discard(task)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, asyncio.CancelledError):
-                pass
-            for session in self.manager.disconnect(conn_id):
-                self._spawn(self._evict_when_drained(session))
-
-    async def _send(self, writer, payload: dict) -> None:
-        """Encode and write one response line, surviving bad payloads.
-
-        Strict JSON (``allow_nan=False``) refuses non-finite floats; if
-        a response ever contains one, the client must get an error line
-        naming the problem, not a silently closed socket.
-        """
-        try:
-            data = encode_response(payload)
-        except ValueError as exc:
-            data = encode_response(
-                error_response(
-                    f"response not serializable as strict JSON: {exc}"
-                )
-            )
-        writer.write(data)
-        await writer.drain()
-
-    async def _serve_connection(self, conn_id: int, reader, writer) -> None:
-        while True:
-            try:
-                line = await reader.readline()
-            except ValueError:
-                # Line longer than MAX_LINE_BYTES: unrecoverable framing.
-                await self._send(
-                    writer, error_response("line too long", fatal=True)
-                )
-                return
-            if not line:
-                return  # EOF
-            try:
-                with span("parse"):
-                    parsed = parse_line(
-                        line.decode("utf-8", errors="replace"), conn_id
-                    )
-            except ProtocolError as exc:
-                self._records_rejected += 1
-                await self._send(
-                    writer, error_response(str(exc), **{"async": True})
-                )
-                continue
-            if parsed is None:
-                continue
-            if isinstance(parsed, RecordLine):
-                await self._accept_record(conn_id, parsed, writer)
-                continue
-            response = await self._handle_command(parsed)
-            await self._send(writer, response)
-            if parsed.verb == "QUIT":
-                return
-
-    async def _accept_record(
+    async def handle_record(
         self, conn_id: int, record: RecordLine, writer
     ) -> None:
         try:
@@ -370,10 +240,11 @@ class ReconstructionServer:
                 ),
             )
             return
-        # ``draining`` covers the gap between the eviction decision (on
-        # this loop) and ``drained`` flipping at the end of the flush on
-        # a worker thread — records landing in that gap must be refused,
-        # not accepted and then silently lost to a drained engine.
+        # ``draining`` covers the gap between the eviction/export
+        # decision (on this loop) and ``drained`` flipping at the end of
+        # the flush on a worker thread — records landing in that gap
+        # must be refused, not accepted and then silently lost to a
+        # drained engine.
         if lane.draining or lane.session.drained:
             self._records_rejected += 1
             await self._send(
@@ -413,14 +284,9 @@ class ReconstructionServer:
             lane.pump = asyncio.get_running_loop().create_task(
                 self._pump(lane)
             )
-            self._lanes[stream_id] = lane
+            with self._lanes_lock:
+                self._lanes[stream_id] = lane
         return lane
-
-    def _spawn(self, coro) -> asyncio.Task:
-        task = asyncio.get_running_loop().create_task(coro)
-        self._bg_tasks.add(task)
-        task.add_done_callback(self._bg_tasks.discard)
-        return task
 
     # ------------------------------------------------------------------
     # Pumps and eviction
@@ -476,6 +342,8 @@ class ReconstructionServer:
     async def _evict_when_drained(self, session: StreamSession) -> None:
         """Last feeder left: flush once its queued records are ingested."""
         lane = self._lanes.get(session.stream_id)
+        if lane is not None and lane.session is not session:
+            lane = None  # stream migrated away and back; not our lane
         if lane is not None:
             await lane.queue.join()
         # Adoption grace: another connection may be about to feed this
@@ -488,13 +356,16 @@ class ReconstructionServer:
                 )
             except asyncio.TimeoutError:
                 pass
-        # A new connection may have adopted the stream while we waited.
+        # A new connection may have adopted the stream while we waited,
+        # or an EXPORT may have retired it.
         if session.num_owners or session.drained:
             return
+        if self.manager.get(session.stream_id) is not session:
+            return  # exported (or replaced by an import) while waiting
         if lane is not None:
             # No await between the owner re-check and this flag, so no
             # record can slip in between: everything arriving from here
-            # on is refused in _accept_record instead of racing the
+            # on is refused in handle_record instead of racing the
             # worker-thread flush below (which only sets ``drained`` at
             # the very end).
             lane.draining = True
@@ -507,7 +378,7 @@ class ReconstructionServer:
     # Commands
     # ------------------------------------------------------------------
 
-    async def _handle_command(self, cmd: CommandLine) -> dict:
+    async def handle_command(self, cmd: CommandLine) -> dict:
         try:
             if cmd.verb == "HEALTH":
                 return {
@@ -522,6 +393,10 @@ class ReconstructionServer:
                 return await self._cmd_results(cmd.args)
             if cmd.verb == "FLUSH":
                 return await self._cmd_flush(cmd.args)
+            if cmd.verb == "EXPORT":
+                return await self._cmd_export(cmd.args)
+            if cmd.verb == "IMPORT":
+                return await self._cmd_import(cmd.args)
             if cmd.verb == "QUIT":
                 return {"ok": True, "bye": True}
             return error_response(f"unknown command {cmd.verb!r}")
@@ -540,10 +415,9 @@ class ReconstructionServer:
         while rest:
             flag = rest.pop(0)
             if flag == "--since" and rest:
-                try:
-                    since = int(rest.pop(0))
-                except ValueError:
-                    raise ProtocolError("--since takes an integer")
+                # Accept the router's vector cursor too: a shard serves
+                # from the effective high-water mark (see parse_since).
+                since = cursor_since(parse_since(rest.pop(0)))
             else:
                 raise ProtocolError(f"unknown RESULTS argument {flag!r}")
         session = self.manager.get(stream_id)
@@ -615,12 +489,100 @@ class ReconstructionServer:
         }
 
     # ------------------------------------------------------------------
+    # Migration (EXPORT / IMPORT — driven by the router)
+    # ------------------------------------------------------------------
+
+    async def _cmd_export(self, args: tuple[str, ...]) -> dict:
+        """Quiesce a stream and hand its durable state to the caller.
+
+        The command line arrives *after* any records the caller
+        pipelined on the same connection, and the queue barrier below
+        covers records from every other connection that were accepted
+        before the export decision — so the exported document reflects
+        every record the server ever acknowledged for this stream. The
+        local session is retired: its solver lane, WAL directory, and
+        session-map entry are gone when the reply is written, and any
+        record that arrives later recreates the stream from scratch
+        (the router prevents that by re-homing the stream first).
+        """
+        if len(args) != 1:
+            raise ProtocolError("EXPORT needs exactly one stream id")
+        stream_id = args[0]
+        if self.manager.get(stream_id) is None:
+            return error_response(
+                f"unknown stream {stream_id!r}", stream=stream_id
+            )
+        lane = self._lanes.get(stream_id)
+        if lane is not None:
+            if lane.failed is not None:
+                return error_response(
+                    f"stream {stream_id!r} failed: {lane.failed}",
+                    stream=stream_id,
+                )
+            # Refuse new records from here on; then the barrier: every
+            # record accepted before this command is ingested before the
+            # engine state is exported.
+            lane.draining = True
+            await lane.queue.join()
+            async with lane.lock:
+                document = await asyncio.to_thread(
+                    self.manager.export_stream, stream_id
+                )
+            # The stream no longer lives here: stop the pump and drop
+            # the lane so a later re-import starts from a clean slate.
+            lane.stopping = True
+            await lane.queue.put(None)
+            with self._lanes_lock:
+                if self._lanes.get(stream_id) is lane:
+                    del self._lanes[stream_id]
+        else:
+            document = await asyncio.to_thread(
+                self.manager.export_stream, stream_id
+            )
+        return {"ok": True, "stream": stream_id, "state": document}
+
+    async def _cmd_import(self, args: tuple[str, ...]) -> dict:
+        """Adopt a stream exported by another shard, bit-exactly."""
+        if len(args) != 2:
+            raise ProtocolError("IMPORT needs a stream id and a base64 document")
+        stream_id, blob = args
+        try:
+            document = json.loads(base64.b64decode(blob, validate=True))
+        except (ValueError, binascii.Error) as exc:
+            raise ProtocolError(
+                f"IMPORT document is not base64-encoded JSON: {exc}"
+            )
+        # A stale lane from a previous tenancy of this stream must not
+        # keep feeding the replaced session.
+        lane = self._lanes.get(stream_id)
+        if lane is not None:
+            lane.draining = True
+            await lane.queue.join()
+            lane.stopping = True
+            await lane.queue.put(None)
+            with self._lanes_lock:
+                if self._lanes.get(stream_id) is lane:
+                    del self._lanes[stream_id]
+        session = await asyncio.to_thread(
+            self.manager.import_stream, stream_id, document
+        )
+        return {
+            "ok": True,
+            "stream": stream_id,
+            "records_durable": session.records_durable,
+            "windows_committed": len(session.results),
+            "drained": session.drained,
+        }
+
+    # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
         stats = self.manager.stats()
-        for stream_id, lane in self._lanes.items():
+        with self._lanes_lock:
+            lanes = list(self._lanes.items())
+        for stream_id, lane in lanes:
             entry = stats["streams"].get(stream_id)
             if entry is not None:
                 entry["queue_depth"] = lane.queue.qsize()
@@ -630,12 +592,7 @@ class ReconstructionServer:
                 # threads; surface whichever fired first.
                 entry["failed"] = lane.failed or entry.get("failed")
         stats["server"] = {
-            "endpoints": list(self.endpoints),
-            "connections_total": self._connections_total,
-            "connections_open": len(self._conn_tasks),
-            "records_accepted": self._records_accepted,
-            "records_rejected": self._records_rejected,
-            "records_dropped": self._records_dropped,
+            **self.connection_stats(),
             "chunk": self.chunk,
             "queue_capacity": self.queue_capacity,
         }

@@ -29,6 +29,7 @@ bit-exactly (see :mod:`repro.serve.durability`).
 
 from __future__ import annotations
 
+import shutil
 import threading
 import urllib.parse
 
@@ -36,10 +37,15 @@ from repro.core.pipeline import DomoConfig
 from repro.obs.registry import MetricsRegistry, registry_scope
 from repro.obs.spans import span
 from repro.runtime.executor import WindowSolveSpec
-from repro.serve.durability import DurabilityConfig, load_latest_snapshot
+from repro.serve.durability import (
+    DurabilityConfig,
+    load_latest_snapshot,
+    stream_state_dir,
+)
 from repro.serve.durability import crashpoints
 from repro.serve.durability.recovery import (
     BATCH_RECORD,
+    RecoveryError,
     SnapshotConfigMismatchError,
     StreamDurability,
     config_signature,
@@ -165,6 +171,47 @@ class StreamSession:
         }
         self._durability.save_snapshot(document)
         return True
+
+    def export_document(self, config_sig: str) -> dict:
+        """Quiesce and capture this stream's full state for migration.
+
+        Unlike :meth:`snapshot` this is a *handoff*, not a checkpoint:
+        the caller is expected to retire this session afterwards and
+        import the document elsewhere. Open windows stay open (quiesce
+        only drains in-flight solves — no seals are forced), so the
+        importing shard commits exactly the windows this one would
+        have. A failed session refuses to export: its state is not
+        trustworthy and migrating it would launder the failure.
+        """
+        if self.failed is not None:
+            raise RuntimeError(
+                f"stream {self.stream_id!r} failed ({self.failed}); "
+                f"refusing to export unreliable state"
+            )
+        if not self.drained:
+            with registry_scope(self.registry):
+                with span("export"):
+                    self.engine.quiesce()
+                    committed = self.engine.poll()
+            self._absorb(committed)
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "stream": self.stream_id,
+            "wal_cursor": (
+                self._durability.wal_cursor
+                if self._durability is not None
+                else 0
+            ),
+            "records_durable": self.records_durable,
+            "config_sig": config_sig,
+            "session": {
+                "results": self.results,
+                "records_in": self.records_in,
+                "failed": self.failed,
+                "drained": self.drained,
+            },
+            "engine": self.engine.export_state(),
+        }
 
     def drain(self) -> None:
         """Final flush + release of the solver lane (results kept).
@@ -297,12 +344,19 @@ class SessionManager:
         self._sessions: dict[str, StreamSession] = {}
         self.sessions_rejected = 0
         self.sessions_evicted = 0
+        self.sessions_exported = 0
+        self.sessions_imported = 0
 
     # -- lookup / admission ----------------------------------------------
 
+    def _active_locked(self) -> int:
+        """Active-session count; caller must hold :attr:`_lock`."""
+        return sum(1 for s in self._sessions.values() if not s.drained)
+
     @property
     def active_sessions(self) -> int:
-        return sum(1 for s in self._sessions.values() if not s.drained)
+        with self._lock:
+            return self._active_locked()
 
     def get(self, stream_id: str) -> StreamSession | None:
         return self._sessions.get(stream_id)
@@ -318,7 +372,7 @@ class SessionManager:
             session = self._sessions.get(stream_id)
             if session is not None:
                 return session
-            if self.active_sessions >= self.max_sessions:
+            if self._active_locked() >= self.max_sessions:
                 self.sessions_rejected += 1
                 raise SessionLimitError(
                     f"session limit reached ({self.max_sessions} active); "
@@ -461,6 +515,113 @@ class SessionManager:
             "failed": session.failed,
         }
 
+    # -- migration (quiesce-export-import) ---------------------------------
+
+    def export_stream(self, stream_id: str) -> dict:
+        """Hand one stream's full state over and retire it here.
+
+        The returned document (same shape as a recovery snapshot) is
+        what :meth:`import_stream` on another shard adopts. After a
+        successful export this manager forgets the stream entirely —
+        lane released, WAL closed and its state directory deleted (the
+        WAL handoff: durability responsibility moves with the stream).
+        """
+        with self._lock:
+            session = self._sessions.get(stream_id)
+        if session is None:
+            raise KeyError(f"unknown stream {stream_id!r}")
+        document = session.export_document(self._config_sig)
+        self._retire(session)
+        self.sessions_exported += 1
+        return document
+
+    def _retire(self, session: StreamSession) -> None:
+        """Drop an exported session: lane, WAL dir, and the map entry."""
+        if not session.drained:
+            session.drained = True
+            session.engine.close()
+            try:
+                self.pool.release(session.stream_id)
+            except RuntimeError:
+                pass  # lane already swept (e.g. drained concurrently)
+        durability = session._durability
+        if durability is not None:
+            durability.close()
+            shutil.rmtree(durability.stream_dir, ignore_errors=True)
+        with self._lock:
+            self._sessions.pop(session.stream_id, None)
+
+    def import_stream(self, stream_id: str, document: dict) -> StreamSession:
+        """Adopt a stream exported by another shard.
+
+        Rebuilds the engine bit-exactly from the document's state codec,
+        continues ``records_durable`` where the exporter left off, and —
+        with durability — anchors a fresh WAL with an adoption snapshot
+        so a crash right after the import still recovers the stream.
+        Stale state from a previous life of this stream on this shard is
+        superseded (deleted) by the imported document.
+        """
+        if document.get("schema") != SNAPSHOT_SCHEMA:
+            raise RecoveryError(
+                f"import of stream {stream_id!r}: document schema "
+                f"{document.get('schema')!r} != {SNAPSHOT_SCHEMA!r}"
+            )
+        if document.get("config_sig") != self._config_sig:
+            raise SnapshotConfigMismatchError(
+                f"import of stream {stream_id!r}: exported under config "
+                f"signature {document.get('config_sig')!r}, this server "
+                f"is running {self._config_sig!r}"
+            )
+        with self._lock:
+            existing = self._sessions.get(stream_id)
+            if existing is not None and not existing.drained:
+                raise RuntimeError(
+                    f"stream {stream_id!r} is already live here; "
+                    f"refusing to overwrite it with an import"
+                )
+        durability = None
+        if self.durability is not None:
+            state_dir = stream_state_dir(self.durability.wal_dir, stream_id)
+            if state_dir.exists():
+                shutil.rmtree(state_dir)
+            durability = StreamDurability(
+                self.durability, stream_id, config_sig=self._config_sig
+            )
+        session = StreamSession(
+            stream_id,
+            self.config,
+            self.lateness_ms,
+            self.pool,
+            durability=durability,
+        )
+        session.engine = StreamingReconstructor.from_state(
+            document["engine"],
+            self.config,
+            lateness_ms=self.lateness_ms,
+            executor=session._executor,
+        )
+        session.results = list(document["session"]["results"])
+        session.records_in = document["session"]["records_in"]
+        session.failed = document["session"]["failed"]
+        if durability is not None:
+            durability.records_durable = document["records_durable"]
+            anchor = dict(document)
+            anchor["wal_cursor"] = durability.wal_cursor
+            durability.save_snapshot(anchor)
+        if document["session"].get("drained"):
+            session.drained = True
+            session.engine.close()
+            try:
+                self.pool.release(stream_id)
+            except RuntimeError:
+                pass
+            if durability is not None:
+                durability.close()
+        with self._lock:
+            self._sessions[stream_id] = session
+        self.sessions_imported += 1
+        return session
+
     # -- eviction ----------------------------------------------------------
 
     def disconnect(self, connection_id: int) -> list[StreamSession]:
@@ -503,17 +664,24 @@ class SessionManager:
         return merged
 
     def stats(self) -> dict:
+        # One locked snapshot of the session map, then lock-free scalar
+        # reads: stats() must be safe to call from any thread (a router
+        # health poller, tests) while sessions are being admitted,
+        # imported, or exported concurrently.
         with self._lock:
-            streams = {
-                stream_id: session.stats()
-                for stream_id, session in sorted(self._sessions.items())
-            }
+            sessions = sorted(self._sessions.items())
+            active = self._active_locked()
+        streams = {
+            stream_id: session.stats() for stream_id, session in sessions
+        }
         return {
             "sessions": len(streams),
-            "active_sessions": self.active_sessions,
+            "active_sessions": active,
             "max_sessions": self.max_sessions,
             "sessions_rejected": self.sessions_rejected,
             "sessions_evicted": self.sessions_evicted,
+            "sessions_exported": self.sessions_exported,
+            "sessions_imported": self.sessions_imported,
             "pool": self.pool.stats(),
             "streams": streams,
         }

@@ -1,0 +1,430 @@
+"""End-to-end tests of the sharded serve tier.
+
+Run a real router over real shard servers (unix sockets) and drive the
+wire protocol through real client connections. The stakes, in order:
+
+* **bit-parity** — routing records across N shards must yield estimates
+  identical (``==`` on floats) to the batch pipeline and to a 1-shard
+  tier, because placement only distributes streams, never reorders
+  within one;
+* **live migration** — ``MIGRATE``/``DRAIN`` move a stream between
+  shards mid-feed on the durable state codec without perturbing a
+  single bit of its final estimates;
+* **failover** — SIGKILL of a supervised shard subprocess mid-stream
+  loses nothing: the supervisor restarts it, the router resyncs from
+  ``records_durable`` and resends the unacknowledged tail;
+* **vector cursors** — a ``RESULTS`` cursor handed back across a
+  migration never loses or re-reads a window.
+"""
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+from repro.serve.client import connect
+from repro.serve.durability import DurabilityConfig
+from repro.serve.protocol import MAX_ADMIN_LINE_BYTES
+from repro.serve.router import RouterServer, ShardSpec
+from repro.serve.server import (
+    ReconstructionServer,
+    ServerHandle,
+    run_in_thread,
+)
+from repro.sim import NetworkConfig, simulate_network
+
+
+def _packets(seed=7):
+    trace = simulate_network(
+        NetworkConfig(
+            num_nodes=16,
+            placement="grid",
+            duration_ms=20_000.0,
+            packet_period_ms=2_500.0,
+            seed=seed,
+        )
+    )
+    return sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+
+
+class _Tier:
+    """An in-process sharded tier: N thread-hosted shards + the router.
+
+    Shards run as :class:`ReconstructionServer` instances on background
+    threads (``argv=None`` specs — externally managed, the router only
+    connects), which keeps these tests fast; the subprocess/SIGKILL path
+    is exercised separately below.
+    """
+
+    def __init__(self, tmp_path, shards=2, durable=True, **router_kwargs):
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        self.handles = []
+        specs = []
+        for i in range(shards):
+            name = f"shard-{i}"
+            sock = str(tmp_path / f"{name}.sock")
+            kwargs = {"max_line_bytes": MAX_ADMIN_LINE_BYTES}
+            if durable:
+                kwargs["durability"] = DurabilityConfig(
+                    wal_dir=tmp_path / name / "wal",
+                    fsync="always",
+                    snapshot_interval=64,
+                )
+            self.handles.append(
+                run_in_thread(
+                    ReconstructionServer(
+                        DomoConfig(), socket_path=sock, **kwargs
+                    )
+                )
+            )
+            specs.append(ShardSpec(name, sock))
+        self.specs = specs
+        self.state_dir = str(tmp_path / "router-state")
+        self.sock = str(tmp_path / "router.sock")
+        self.router = RouterServer(
+            specs,
+            socket_path=self.sock,
+            state_dir=self.state_dir,
+            **router_kwargs,
+        )
+        self.handle = ServerHandle(self.router).start()
+
+    def stop(self):
+        report = self.handle.stop()
+        for handle in self.handles:
+            handle.stop()
+        return report
+
+
+def test_routed_ingest_matches_batch_and_single_shard(tmp_path):
+    """The acceptance criterion: estimates served through the router
+    are bit-identical to the batch pipeline AND to a 1-shard server,
+    for streams spread across shards and fed by concurrent clients."""
+    packets = _packets()
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    streams = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+    tier = _Tier(tmp_path / "tier", shards=2)
+    try:
+        placement = {s: tier.router.owner_of(s) for s in streams}
+        assert len(set(placement.values())) == 2, placement
+        failures = []
+
+        def feed(assigned):
+            try:
+                with connect(socket_path=tier.sock) as client:
+                    for stream in assigned:
+                        client.send_packets(packets, stream=stream)
+                    assert client.health()["ok"]
+                    failures.extend(client.async_errors)
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=feed, args=(streams[i::2],))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        with connect(socket_path=tier.sock) as query:
+            routed = {}
+            for stream in streams:
+                assert query.flush(stream)["ok"]
+                routed[stream] = query.estimates(stream)
+        report = None
+    finally:
+        report = tier.stop()
+    for stream in streams:
+        assert routed[stream] == batch.estimates  # bit-identical floats
+
+    # Same feed against a single-shard tier: identical served output.
+    single = _Tier(tmp_path / "single", shards=1)
+    try:
+        with connect(socket_path=single.sock) as client:
+            client.send_packets(packets, stream="alpha")
+            assert client.flush("alpha")["ok"]
+            assert client.estimates("alpha") == routed["alpha"]
+    finally:
+        single.stop()
+
+    # The router's shutdown report covers the whole tier.
+    assert report is not None
+    assert report.stats["router"]["streams"] == len(streams)
+    from repro.obs.report import validate_report
+
+    assert validate_report(report.to_dict()) == []
+
+
+def test_live_migration_mid_stream_is_bit_exact(tmp_path):
+    packets = _packets()
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    tier = _Tier(tmp_path, shards=2)
+    try:
+        half = len(packets) // 2
+        with connect(socket_path=tier.sock) as client:
+            client.send_packets(packets[:half], stream="mig")
+            source = tier.router.owner_of("mig")
+            reply = client.command("MIGRATE mig")
+            assert reply["ok"], reply
+            assert reply["from"] == source and reply["to"] != source
+            assert tier.router.owner_of("mig") == reply["to"]
+            client.send_packets(packets[half:], stream="mig")
+            assert client.flush("mig")["ok"]
+            assert client.estimates("mig") == batch.estimates
+            assert not client.async_errors
+        # The override survives a router restart via routing.json...
+        with open(os.path.join(tier.state_dir, "routing.json")) as handle:
+            routing = json.load(handle)
+        assert routing["overrides"]["mig"] == reply["to"]
+        # ...which a fresh router instance loads before serving.
+        reloaded = RouterServer(
+            [ShardSpec(s.name, s.socket_path) for s in tier.specs],
+            socket_path=tier.sock + ".2",
+            state_dir=tier.state_dir,
+        )
+        assert reloaded.owner_of("mig") == reply["to"]
+    finally:
+        tier.stop()
+
+
+def test_vector_cursor_never_loses_or_duplicates_across_migration(tmp_path):
+    tier = _Tier(tmp_path, shards=2)
+    packets = _packets()
+    half = len(packets) // 2
+    try:
+        with connect(socket_path=tier.sock) as client:
+            client.send_packets(packets[:half], stream="vc")
+            assert client.flush("vc")["ok"]
+            first = client.results("vc")
+            assert first["ok"] and first["count"] >= 1
+            cursor = first["cursor"]
+            assert cursor.startswith("v@"), cursor
+            seen = [w["solve_index"] for w in first["windows"]]
+
+            assert client.command("MIGRATE vc")["ok"]
+            client.send_packets(packets[half:], stream="vc")
+            assert client.flush("vc")["ok"]
+
+            second = client.results("vc", since=cursor)
+            assert second["ok"]
+            new = [w["solve_index"] for w in second["windows"]]
+            # No window re-read, none skipped: the two pages partition
+            # the full result log.
+            assert not set(seen) & set(new)
+            full = client.results("vc")
+            assert sorted(seen + new) == sorted(
+                w["solve_index"] for w in full["windows"]
+            )
+            # A caught-up cursor yields an empty page, idempotently.
+            done = client.results("vc", since=second["cursor"])
+            assert done["ok"] and done["count"] == 0
+    finally:
+        tier.stop()
+
+
+def test_drain_migrates_every_stream_off_the_shard(tmp_path):
+    tier = _Tier(tmp_path, shards=3)
+    packets = _packets()[:60]
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    streams = [f"d-{i}" for i in range(5)]
+    try:
+        with connect(socket_path=tier.sock) as client:
+            for stream in streams:
+                client.send_packets(packets, stream=stream)
+            assert client.health()["ok"]
+            owners = {s: tier.router.owner_of(s) for s in streams}
+            victim = owners[streams[0]]
+            expected = {s for s, owner in owners.items() if owner == victim}
+            assert expected  # the victim owns at least stream d-0
+
+            reply = client.command(f"DRAIN {victim}")
+            assert reply["ok"], reply
+            assert victim not in reply["ring"]
+            assert {e["stream"] for e in reply["migrated"]} == expected
+            for entry in reply["migrated"]:
+                assert entry["ok"] and entry["from"] == victim
+
+            # Every stream keeps serving, bit-exactly, from wherever it
+            # now lives — and none of them lives on the drained shard.
+            for stream in streams:
+                assert tier.router.owner_of(stream) != victim
+                assert client.flush(stream)["ok"]
+                assert client.estimates(stream) == batch.estimates
+            stats = client.stats()
+            assert stats["routing"][victim]["drained"] is True
+            assert stats["routing"][victim]["streams"] == 0
+
+            # Drained shards refuse new placements...
+            refused = client.command(f"MIGRATE {streams[0]} {victim}")
+            assert not refused["ok"] and "drained" in refused["error"]
+            # ...and the tier protects its last shard.
+            live = [s for s in sorted(stats["routing"]) if s != victim]
+            second = client.command(f"DRAIN {live[0]}")
+            assert second["ok"], second
+            last = client.command(f"DRAIN {live[1]}")
+            assert not last["ok"] and "last shard" in last["error"]
+    finally:
+        tier.stop()
+
+
+def test_sigkill_shard_mid_stream_loses_nothing(tmp_path, monkeypatch):
+    """SIGKILL a supervised shard subprocess mid-stream: the supervisor
+    restarts it, the router resyncs from its recovered durable offset
+    and resends the unacknowledged tail — final estimates are
+    bit-identical to batch."""
+    packets = _packets()
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    # Shard children are spawned by the supervisor with the inherited
+    # environment; make sure they can import repro.
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        os.pathsep.join(
+            [os.path.join(repo_root, "src")]
+            + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+        ),
+    )
+    specs = []
+    for i in range(2):
+        name = f"shard-{i}"
+        sock = str(tmp_path / f"{name}.sock")
+        specs.append(
+            ShardSpec(
+                name,
+                sock,
+                argv=[
+                    sys.executable, "-m", "repro.cli", "serve",
+                    "--socket", sock,
+                    "--wal-dir", str(tmp_path / name / "wal"),
+                    "--fsync", "always",
+                    "--snapshot-interval", "64",
+                    "--max-line-bytes", str(MAX_ADMIN_LINE_BYTES),
+                ],
+            )
+        )
+    router = RouterServer(
+        specs,
+        socket_path=str(tmp_path / "router.sock"),
+        state_dir=str(tmp_path / "router-state"),
+        supervisor_backoff_s=0.1,
+        failover_deadline_s=60.0,
+    )
+    handle = ServerHandle(router).start(timeout=60.0)
+    try:
+        stream = "kill-me"
+        victim = router.owner_of(stream)
+        half = len(packets) // 2
+        with connect(
+            socket_path=str(tmp_path / "router.sock"), timeout=120.0
+        ) as client:
+            client.send_packets(packets[:half], stream=stream)
+            # HEALTH on the same connection is ordered after the
+            # records: once it returns, all of them were forwarded.
+            assert client.health()["ok"]
+            pid = router._supervisors[victim].child_pid
+            assert pid is not None
+            os.kill(pid, signal.SIGKILL)
+            client.send_packets(packets[half:], stream=stream)
+            reply = client.flush(stream)  # rides the failover
+            assert reply["ok"], reply
+            assert client.estimates(stream) == batch.estimates
+            assert not client.async_errors
+            stats = client.stats()
+            assert stats["routing"][victim]["failovers"] >= 1
+    finally:
+        handle.stop(timeout=120.0)
+
+
+def test_migration_error_surfaces(tmp_path):
+    tier = _Tier(tmp_path, shards=2)
+    try:
+        with connect(socket_path=tier.sock) as client:
+            reply = client.command("MIGRATE s nope")
+            assert not reply["ok"] and "unknown shard" in reply["error"]
+            # A stream the tier has never seen: EXPORT refuses, the
+            # error names the source shard, and nothing changes.
+            reply = client.command("MIGRATE ghost-stream")
+            assert not reply["ok"], reply
+            assert reply["from"] in ("shard-0", "shard-1")
+            reply = client.command("DRAIN nope")
+            assert not reply["ok"] and "unknown shard" in reply["error"]
+            reply = client.command("MIGRATE")
+            assert not reply["ok"]
+    finally:
+        tier.stop()
+
+
+def test_server_stats_is_safe_under_concurrent_ingest(tmp_path):
+    """Satellite: ``ReconstructionServer.stats()`` (used by STATS and
+    the shutdown report) must tolerate sessions appearing/evicting on
+    other threads — hammer it during a live multi-stream feed."""
+    sock = str(tmp_path / "domo.sock")
+    server = ReconstructionServer(DomoConfig(), socket_path=sock)
+    handle = ServerHandle(server).start()
+    packets = _packets()[:80]
+    stop = threading.Event()
+    errors = []
+
+    def hammer():
+        while not stop.is_set():
+            try:
+                snapshot = server.stats()
+                json.dumps(snapshot)  # fully materialized + serializable
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+                return
+
+    thread = threading.Thread(target=hammer)
+    thread.start()
+    try:
+        with connect(socket_path=sock) as client:
+            for i in range(8):
+                client.send_packets(packets, stream=f"h-{i}")
+                assert client.flush(f"h-{i}")["ok"]
+    finally:
+        stop.set()
+        thread.join()
+        handle.stop()
+    assert not errors, errors
+
+
+def test_client_close_is_idempotent(tmp_path):
+    sock = str(tmp_path / "domo.sock")
+    handle = run_in_thread(
+        ReconstructionServer(DomoConfig(), socket_path=sock)
+    )
+    try:
+        client = connect(socket_path=sock)
+        assert client.health()["ok"]
+        client.close()
+        assert client.closed
+        client.close()  # second close: no-op, no raise
+        assert client.closed
+    finally:
+        handle.stop()
+
+
+def test_client_reconnect_deadline_bounds_total_retry_time(tmp_path):
+    sock = str(tmp_path / "domo.sock")
+    handle = run_in_thread(
+        ReconstructionServer(DomoConfig(), socket_path=sock)
+    )
+    client = connect(socket_path=sock)
+    assert client.health()["ok"]
+    handle.stop()  # server gone; the socket path is unlinked
+    start = time.monotonic()
+    with pytest.raises((TimeoutError, ConnectionError, OSError)):
+        # Without the deadline, 50 retries at 0.2 s backoff would block
+        # for >= 10 s; the deadline caps the whole attempt.
+        client.reconnect(retries=50, backoff_s=0.2, deadline_s=0.8)
+    assert time.monotonic() - start < 5.0
+    client.close()
