@@ -32,6 +32,11 @@ directory, reached over an internal unix socket::
   Both backend locks are held for the whole handoff and the routing
   maps flip before they are released, so no record, RESULTS, or FLUSH
   can slip into the gap and resurrect the stream on the wrong shard.
+  EXPORT retires the stream on the source, so on any IMPORT failure —
+  an error reply *or* a dead target past the failover deadline — the
+  document is IMPORTed back onto the source; if even that fails it is
+  parked in an orphans map that a retried MIGRATE drains. The exported
+  state is never lost to an exception path.
 * **RESULTS** replies add the vector cursor (``"cursor": "v@…"``)
   tracking the highest solve index seen per shard; clients hand the
   token back as ``--since`` and never lose or re-read a window across
@@ -127,8 +132,8 @@ class _StreamBuffer:
 
     __slots__ = ("base", "lines")
 
-    def __init__(self) -> None:
-        self.base = 0
+    def __init__(self, base: int = 0) -> None:
+        self.base = base
         self.lines: list[bytes] = []
 
     @property
@@ -164,6 +169,10 @@ class ShardBackend:
         self.spec = spec
         self.lock = asyncio.Lock()
         self.client: ServeClient | None = None
+        #: guards the *dict* (insert/pop/iterate) — buffer contents are
+        #: only touched under :attr:`lock`, but stats() sums the dict
+        #: from the event loop while to_thread workers mutate it.
+        self.buffers_lock = threading.Lock()
         self.buffers: dict[str, _StreamBuffer] = {}
         self.dial_timeout_s = dial_timeout_s
         self.connect_retries = connect_retries
@@ -179,14 +188,20 @@ class ShardBackend:
 
     def connect_sync(self) -> None:
         """Dial the shard, retrying while it boots/recovers."""
-        if self.client is not None and not self.client.closed:
+        if self.client is None:
+            self.client = serve_connect(
+                socket_path=self.spec.socket_path,
+                timeout=self.dial_timeout_s,
+                connect_retries=self.connect_retries,
+                retry_backoff_s=self.connect_backoff_s,
+            )
             return
-        self.client = serve_connect(
-            socket_path=self.spec.socket_path,
-            timeout=self.dial_timeout_s,
-            connect_retries=self.connect_retries,
-            retry_backoff_s=self.connect_backoff_s,
-        )
+        if self.client.closed:
+            # The previous connection died (or a terminal failover
+            # closed it) with resend buffers possibly outstanding; a
+            # plain re-dial would skip the resync, so go through the
+            # failover path, which trims and resends every buffer.
+            self._failover_sync()
 
     def close_sync(self) -> None:
         if self.client is not None:
@@ -218,19 +233,46 @@ class ShardBackend:
 
     # -- operations (all under self.lock, via to_thread) ---------------
 
+    def _buffer_for(self, stream: str) -> _StreamBuffer:
+        buffer = self.buffers.get(stream)
+        if buffer is not None:
+            return buffer
+        # First sight of this stream in this router's lifetime. The
+        # shard may already hold durable records for it (WAL recovery
+        # after a router restart), and trim() is driven by the shard's
+        # *global* record count — anchor ``base`` there, or the first
+        # trim would eat lines forwarded since the restart and a later
+        # failover would silently lose them.
+        try:
+            base = self.client.durable_offset(stream)
+        except _RESET_ERRORS:
+            self._failover_sync()
+            base = self.client.durable_offset(stream)
+        buffer = _StreamBuffer(base)
+        with self.buffers_lock:
+            self.buffers[stream] = buffer
+        return buffer
+
     def forward_sync(self, stream: str, data: bytes) -> None:
         """Buffer + forward one record line; failover covers the send."""
         self.connect_sync()
-        buffer = self.buffers.get(stream)
-        if buffer is None:
-            buffer = self.buffers[stream] = _StreamBuffer()
+        buffer = self._buffer_for(stream)
         # Buffer before send: if the send dies halfway, the resync path
         # resends this line from the buffer rather than losing it.
         buffer.lines.append(data)
         try:
             self.client.send_raw(data)
         except _RESET_ERRORS:
-            self._failover_sync()  # resends the tail, including `data`
+            try:
+                self._failover_sync()  # resends the tail, incl. `data`
+            except Exception:
+                # Terminal: the client is about to be told the record
+                # was rejected, so it must not linger in the buffer — a
+                # later successful failover would replay it on top of
+                # the client's own resend, double-ingesting the record.
+                if buffer.lines and buffer.lines[-1] is data:
+                    buffer.lines.pop()
+                raise
         self.records_forwarded += 1
 
     def command_sync(self, line: str) -> dict:
@@ -252,8 +294,39 @@ class ShardBackend:
                 buffer.trim(int(reply.get("records_durable", 0)))
         return reply
 
+    def pop_buffer(self, stream: str) -> _StreamBuffer | None:
+        with self.buffers_lock:
+            return self.buffers.pop(stream, None)
+
+    def adopt_sync(
+        self, stream: str, buffer: _StreamBuffer, durable: int
+    ) -> None:
+        """Take over a migrated stream's resend buffer, push its tail.
+
+        The buffer is installed *before* the resend, so a connection
+        loss mid-push is recoverable: the tail stays buffered and the
+        failover path resyncs it against ``records_durable``.
+        """
+        buffer.trim(durable)
+        with self.buffers_lock:
+            self.buffers[stream] = buffer
+        if not buffer.lines:
+            return
+        try:
+            for line in buffer.lines:
+                self.client.send_raw(line)
+            self.records_resent += len(buffer.lines)
+        except _RESET_ERRORS:
+            self._failover_sync()  # resyncs every buffer, incl. this one
+
+    def buffer_stats(self) -> tuple[int, int]:
+        """(streams, buffered lines) — safe from any thread."""
+        with self.buffers_lock:
+            buffers = list(self.buffers.values())
+        return len(buffers), sum(len(b.lines) for b in buffers)
+
     def buffered_lines(self) -> int:
-        return sum(len(b.lines) for b in self.buffers.values())
+        return self.buffer_stats()[1]
 
 
 class RouterServer(LineProtocolServer):
@@ -315,6 +388,10 @@ class RouterServer(LineProtocolServer):
 
         #: migration pins: stream -> shard, overriding the ring.
         self._overrides: dict[str, str] = {}
+        #: last-copy safety net: stream -> exported state blob that a
+        #: failed migration could place on neither the target nor back
+        #: on the source; a retried MIGRATE moves it from here.
+        self._orphans: dict[str, str] = {}
         #: current placement of every stream the router has seen.
         self._streams: dict[str, str] = {}
         self._drained: set[str] = set()
@@ -656,55 +733,105 @@ class RouterServer(LineProtocolServer):
         *inside* the locks: any record or command that was parked on
         either lock re-resolves ownership afterwards and lands on the
         target — after its IMPORT, never before.
+
+        Failure discipline: EXPORT retires the stream on the source
+        (its WAL directory is gone when the reply lands), so from that
+        point the exported document is the only copy of the stream's
+        state and every failure path must put it *somewhere durable*
+        before surfacing an error. A refused or unreachable target gets
+        the document IMPORTed back onto the source; if even that fails
+        (source down too) the blob is parked in :attr:`_orphans`, and a
+        retried MIGRATE whose EXPORT finds the source empty moves the
+        parked copy instead. Nothing is ever dropped on the floor.
         """
         src = self.backends[source]
         dst = self.backends[target]
         async with src.lock:
             async with dst.lock:
-                exported = await asyncio.to_thread(
-                    src.command_sync, f"EXPORT {stream}"
-                )
-                if not exported.get("ok"):
+                exported = None
+                export_failure: str | None = None
+                try:
+                    exported = await asyncio.to_thread(
+                        src.command_sync, f"EXPORT {stream}"
+                    )
+                except Exception as exc:  # noqa: BLE001 - source down
+                    export_failure = f"{type(exc).__name__}: {exc}"
+                if exported is not None and exported.get("ok"):
+                    document = exported["state"]
+                    blob = base64.b64encode(
+                        json.dumps(
+                            document, separators=(",", ":"), allow_nan=False
+                        ).encode("utf-8")
+                    ).decode("ascii")
+                elif stream in self._orphans:
+                    # The source lost the stream (or is unreachable),
+                    # but a prior failed migration parked its state
+                    # here — move that copy instead.
+                    blob = self._orphans[stream]
+                elif exported is not None:
                     exported.setdefault("stream", stream)
                     exported["from"] = source
                     return exported
-                document = exported["state"]
-                blob = base64.b64encode(
-                    json.dumps(
-                        document, separators=(",", ":"), allow_nan=False
-                    ).encode("utf-8")
-                ).decode("ascii")
-                imported = await asyncio.to_thread(
-                    dst.command_sync, f"IMPORT {stream} {blob}"
-                )
-                if not imported.get("ok"):
+                else:
+                    return error_response(
+                        f"EXPORT on {source!r} failed: {export_failure}",
+                        stream=stream,
+                    )
+                imported = None
+                import_failure: str | None = None
+                try:
+                    imported = await asyncio.to_thread(
+                        dst.command_sync, f"IMPORT {stream} {blob}"
+                    )
+                    if not imported.get("ok"):
+                        import_failure = str(imported.get("error"))
+                except Exception as exc:  # noqa: BLE001 - target down
+                    import_failure = f"{type(exc).__name__}: {exc}"
+                if import_failure is not None:
                     # Undo: the source already retired the stream, so
                     # push the document back where it came from rather
                     # than stranding the only copy in router memory.
-                    restored = await asyncio.to_thread(
-                        src.command_sync, f"IMPORT {stream} {blob}"
+                    restored = await self._restore_to_source(
+                        stream, src, blob
+                    )
+                    where = (
+                        f"state restored to {source!r}"
+                        if restored
+                        else "state parked in router orphans; retry MIGRATE"
                     )
                     return error_response(
-                        f"IMPORT on {target!r} failed: "
-                        f"{imported.get('error')} (state restored to "
-                        f"{source!r}: {bool(restored.get('ok'))})",
+                        f"IMPORT on {target!r} failed: {import_failure} "
+                        f"({where})",
                         stream=stream,
                     )
+                self._orphans.pop(stream, None)
                 # Hand the resend buffer over with the stream, trimmed
-                # to what the target just made durable.
-                buffer = src.buffers.pop(stream, None)
+                # to what the target just made durable. Flip the maps
+                # before pushing the tail: the state now lives on the
+                # target, and flipping late would let a resend failure
+                # route new records back to the source, resurrecting
+                # the stream there from scratch.
+                buffer = src.pop_buffer(stream)
                 if buffer is None:
                     buffer = _StreamBuffer()
-                buffer.trim(int(imported.get("records_durable", 0)))
-                for line in buffer.lines:  # unacked tail, if any
-                    await asyncio.to_thread(dst.client.send_raw, line)
-                    dst.records_resent += 1
-                dst.buffers[stream] = buffer
                 self._overrides[stream] = target
                 self._streams[stream] = target
                 self._save_routing()
                 self.migrations += 1
-        return {
+                resend_failure: str | None = None
+                try:
+                    await asyncio.to_thread(
+                        dst.adopt_sync,
+                        stream,
+                        buffer,
+                        int(imported.get("records_durable", 0)),
+                    )
+                except Exception as exc:  # noqa: BLE001 - tolerated:
+                    # adopt_sync installed the buffer before sending,
+                    # so the unacked tail is resynced by the target's
+                    # next connect/failover.
+                    resend_failure = f"{type(exc).__name__}: {exc}"
+        reply = {
             "ok": True,
             "stream": stream,
             "from": source,
@@ -712,6 +839,27 @@ class RouterServer(LineProtocolServer):
             "records_durable": imported.get("records_durable"),
             "windows_committed": imported.get("windows_committed"),
         }
+        if resend_failure is not None:
+            reply["resend_pending"] = resend_failure
+        return reply
+
+    async def _restore_to_source(
+        self, stream: str, src: ShardBackend, blob: str
+    ) -> bool:
+        """Best-effort IMPORT of a failed migration's document back to
+        its source; parks the blob in :attr:`_orphans` if that fails."""
+        try:
+            restored = await asyncio.to_thread(
+                src.command_sync, f"IMPORT {stream} {blob}"
+            )
+            ok = bool(restored.get("ok"))
+        except Exception:  # noqa: BLE001 - source down too
+            ok = False
+        if ok:
+            self._orphans.pop(stream, None)
+        else:
+            self._orphans[stream] = blob
+        return ok
 
     async def _cmd_drain(self, args: tuple[str, ...]) -> dict:
         if len(args) != 1:
@@ -725,17 +873,39 @@ class RouterServer(LineProtocolServer):
                 return error_response(f"shard {shard!r} already drained")
             if len(self.ring) <= 1:
                 return error_response("cannot drain the last shard")
+            # DRAIN must move what the shard actually holds, not just
+            # what this router process has routed: sessions the shard
+            # recovered from its WAL after a *router* restart never
+            # appear in _streams, and leaving them behind would strand
+            # them on a shard that is about to leave the ring.
+            backend = self.backends[shard]
+            known = {
+                s for s, owner in self._streams.items() if owner == shard
+            }
+            try:
+                async with backend.lock:
+                    reply = await asyncio.to_thread(
+                        backend.command_sync, "STATS"
+                    )
+                if reply.get("ok"):
+                    known.update(reply.get("streams", {}))
+            except Exception:  # noqa: BLE001 - shard unreachable; drain
+                pass  # the router-known set, surfacing per-stream errors
             # Off the ring first: new streams stop landing here. Known
             # streams keep routing to it via _streams until each one's
             # migration flips the maps.
             self.ring.remove(shard)
             self._drained.add(shard)
             moved = []
-            for stream in sorted(
-                s for s, owner in self._streams.items() if owner == shard
-            ):
+            for stream in sorted(known):
                 target = self.ring.owner(stream)
-                result = await self._migrate(stream, shard, target)
+                try:
+                    result = await self._migrate(stream, shard, target)
+                except Exception as exc:  # noqa: BLE001 - one stranded
+                    # stream must not abort the rest of the drain
+                    result = error_response(
+                        f"{type(exc).__name__}: {exc}", stream=stream
+                    )
                 moved.append(result)
         return {
             "ok": all(entry.get("ok") for entry in moved),
@@ -752,11 +922,15 @@ class RouterServer(LineProtocolServer):
         shards = {}
         for name in sorted(self.backends):
             backend = self.backends[name]
+            # One locked snapshot per backend: forward_sync mutates the
+            # buffers dict from to_thread workers while this runs on
+            # the event loop.
+            streams, buffered = backend.buffer_stats()
             shards[name] = {
                 "socket": backend.spec.socket_path,
                 "supervised": backend.spec.argv is not None,
-                "streams": len(backend.buffers),
-                "buffered_lines": backend.buffered_lines(),
+                "streams": streams,
+                "buffered_lines": buffered,
                 "records_forwarded": backend.records_forwarded,
                 "records_resent": backend.records_resent,
                 "failovers": backend.failovers,
@@ -769,6 +943,7 @@ class RouterServer(LineProtocolServer):
                 **self.connection_stats(),
                 "streams": len(self._streams),
                 "overrides": len(self._overrides),
+                "orphans": sorted(self._orphans),
                 "migrations": self.migrations,
                 "ring": {
                     "shards": list(self.ring.shards),

@@ -29,8 +29,9 @@ import pytest
 from repro.core.pipeline import DomoConfig, DomoReconstructor
 from repro.serve.client import connect
 from repro.serve.durability import DurabilityConfig
-from repro.serve.protocol import MAX_ADMIN_LINE_BYTES
+from repro.serve.protocol import MAX_ADMIN_LINE_BYTES, encode_record
 from repro.serve.router import RouterServer, ShardSpec
+from repro.serve.router.router import ShardBackend
 from repro.serve.server import (
     ReconstructionServer,
     ServerHandle,
@@ -50,6 +51,19 @@ def _packets(seed=7):
         )
     )
     return sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+
+
+def _wait_durable(client, stream, count, timeout=30.0):
+    """Poll RESULTS until the shard has made ``count`` records durable
+    (forwarding is ordered, but the shard's ingest queue is async)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        reply = client.results(stream)
+        if reply["ok"] and reply["records_durable"] >= count:
+            return reply
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"stream {stream!r} stuck at {reply}")
+        time.sleep(0.05)
 
 
 class _Tier:
@@ -394,6 +408,247 @@ def test_server_stats_is_safe_under_concurrent_ingest(tmp_path):
         stop.set()
         thread.join()
         handle.stop()
+    assert not errors, errors
+
+
+def test_resend_buffer_anchors_to_shard_durable_offset(tmp_path):
+    """A buffer first created *after* a router restart must not start
+    at base 0: trim() is driven by the shard's global records_durable,
+    so a zero base would let the first trim eat the lines forwarded
+    since the restart — and a later shard crash would lose them."""
+    sock = str(tmp_path / "shard.sock")
+    handle = run_in_thread(
+        ReconstructionServer(
+            DomoConfig(),
+            socket_path=sock,
+            durability=DurabilityConfig(
+                wal_dir=tmp_path / "wal", fsync="always"
+            ),
+        )
+    )
+    packets = _packets()[:12]
+    try:
+        # A previous router lifetime fed 10 records, all durable.
+        with connect(socket_path=sock) as client:
+            client.send_packets(packets[:10], stream="s")
+            assert client.flush("s")["ok"]
+            assert client.durable_offset("s") == 10
+        # A fresh backend (restarted router) forwards record #11.
+        backend = ShardBackend(ShardSpec("shard-0", sock))
+        backend.forward_sync("s", encode_record("s", packets[10]))
+        buffer = backend.buffers["s"]
+        assert buffer.base == 10, "base must anchor at records_durable"
+        assert len(buffer.lines) == 1
+        # Trimming at the shard's durable count keeps the unacked tail.
+        buffer.trim(10)
+        assert len(buffer.lines) == 1
+        backend.close_sync()
+    finally:
+        handle.stop()
+
+
+class _DeadClient:
+    """A shard connection that fails every send and every reconnect."""
+
+    closed = False
+
+    def durable_offset(self, stream):
+        return 3
+
+    def send_raw(self, data):
+        raise BrokenPipeError("shard gone")
+
+    def reconnect(self, **kwargs):
+        raise ConnectionError("still gone")
+
+    def close(self):
+        pass
+
+
+def test_rejected_record_is_not_left_in_resend_buffer():
+    """When failover fails terminally the client is told the record was
+    rejected, so it must not linger in the resend buffer — the client
+    will resend it itself, and a buffered copy would be replayed on top
+    of that by the next successful failover (double ingest)."""
+    backend = ShardBackend(
+        ShardSpec("shard-0", "/nonexistent.sock"), failover_deadline_s=0.1
+    )
+    backend.client = _DeadClient()
+    with pytest.raises(ConnectionError):
+        backend.forward_sync("s", b'{"stream": "s"}\n')
+    buffer = backend.buffers["s"]
+    assert buffer.base == 3  # anchored via durable_offset
+    assert buffer.lines == []  # the rejected record was popped
+
+
+def test_failed_migration_restores_stream_to_source(tmp_path):
+    """IMPORT *raising* (target dead past the failover deadline) must
+    not lose the stream: EXPORT already retired it on the source — WAL
+    directory included — so the router re-IMPORTs the document back
+    onto the source and keeps serving it there, bit-exactly."""
+    tier = _Tier(tmp_path, shards=2, failover_deadline_s=1.0)
+    packets = _packets()[:60]
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    try:
+        with connect(socket_path=tier.sock) as client:
+            client.send_packets(packets[:30], stream="m")
+            # fsync=always: ingest makes a record durable, no FLUSH
+            # needed (a mid-stream FLUSH would legitimately change the
+            # windowing and break the batch-parity check at the end).
+            before = _wait_durable(client, "m", 30)
+            source = tier.router.owner_of("m")
+            target = next(
+                s.name for s in tier.specs if s.name != source
+            )
+            # Stop the target shard: its listener is gone, so the IMPORT
+            # round-trip raises instead of returning an error reply.
+            tier.handles[int(target.split("-")[1])].stop()
+            reply = client.command(f"MIGRATE m {target}")
+            assert not reply["ok"], reply
+            assert "restored" in reply["error"], reply
+            # Still owned by — and served from — the source, with every
+            # durable record intact.
+            assert tier.router.owner_of("m") == source
+            after = client.results("m")
+            assert after["ok"] and after["records_durable"] == 30
+            assert after["windows"] == before["windows"]
+            client.send_packets(packets[30:], stream="m")
+            assert client.flush("m")["ok"]
+            assert client.estimates("m") == batch.estimates
+            assert not client.async_errors
+    finally:
+        tier.stop()
+
+
+def test_orphaned_migration_state_survives_double_failure(tmp_path):
+    """Target dead *and* source dying before the restore: the exported
+    document is the only copy of the stream, so the router parks it in
+    the orphans map and a retried MIGRATE moves the parked copy."""
+    tier = _Tier(tmp_path, shards=3, failover_deadline_s=1.0)
+    packets = _packets()[:60]
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    try:
+        with connect(socket_path=tier.sock) as client:
+            client.send_packets(packets[:30], stream="o")
+            before = _wait_durable(client, "o", 30)
+            source = tier.router.owner_of("o")
+            dead, alive = [
+                s.name for s in tier.specs if s.name != source
+            ]
+            tier.handles[int(dead.split("-")[1])].stop()
+            # Simulate the source crashing between EXPORT and the
+            # restore IMPORT: refuse exactly the restore round-trip.
+            src_backend = tier.router.backends[source]
+            real = src_backend.command_sync
+
+            def refuse_imports(line):
+                if line.startswith("IMPORT "):
+                    raise ConnectionError("source crashed")
+                return real(line)
+
+            src_backend.command_sync = refuse_imports
+            try:
+                reply = client.command(f"MIGRATE o {dead}")
+            finally:
+                src_backend.command_sync = real
+            assert not reply["ok"], reply
+            assert "parked" in reply["error"], reply
+            assert client.stats()["router"]["orphans"] == ["o"]
+            # The retry finds the source empty (EXPORT retired the
+            # stream) and moves the parked copy to a live shard.
+            reply = client.command(f"MIGRATE o {alive}")
+            assert reply["ok"], reply
+            assert tier.router.owner_of("o") == alive
+            assert client.stats()["router"]["orphans"] == []
+            after = client.results("o")
+            assert after["ok"] and after["records_durable"] == 30
+            assert after["windows"] == before["windows"]
+            client.send_packets(packets[30:], stream="o")
+            assert client.flush("o")["ok"]
+            assert client.estimates("o") == batch.estimates
+            assert not client.async_errors
+    finally:
+        tier.stop()
+
+
+def test_drain_discovers_streams_unknown_to_router(tmp_path):
+    """Sessions a shard recovered from its WAL are invisible to a fresh
+    router's in-memory maps; DRAIN must enumerate the shard's actual
+    sessions (via STATS) instead of stranding them off the ring."""
+    packets = _packets()[:60]
+    batch = DomoReconstructor(DomoConfig()).estimate(packets)
+    tier = _Tier(tmp_path, shards=2)
+    streams = [f"w-{i}" for i in range(4)]
+    router_stopped = False
+    try:
+        with connect(socket_path=tier.sock) as client:
+            for stream in streams:
+                client.send_packets(packets, stream=stream)
+            for stream in streams:
+                assert client.flush(stream)["ok"]
+        owners = {s: tier.router.owner_of(s) for s in streams}
+        victim = owners[streams[0]]
+        expected = {s for s, owner in owners.items() if owner == victim}
+        # Router restart: the new instance has never routed a record,
+        # so _streams is empty (no migrations -> no overrides either).
+        tier.handle.stop()
+        router_stopped = True
+        router2 = RouterServer(
+            [ShardSpec(s.name, s.socket_path) for s in tier.specs],
+            socket_path=tier.sock + ".2",
+            state_dir=tier.state_dir,
+        )
+        handle2 = ServerHandle(router2).start()
+        try:
+            with connect(socket_path=tier.sock + ".2") as client:
+                reply = client.command(f"DRAIN {victim}")
+                assert reply["ok"], reply
+                migrated = {e["stream"] for e in reply["migrated"]}
+                assert expected <= migrated, (expected, migrated)
+                for stream in expected:
+                    res = client.results(stream)
+                    assert res["ok"] and res["shard"] != victim
+                    assert client.estimates(stream) == batch.estimates
+        finally:
+            handle2.stop()
+    finally:
+        if not router_stopped:
+            tier.handle.stop()
+        for handle in tier.handles:
+            handle.stop()
+
+
+def test_router_stats_is_safe_under_concurrent_ingest(tmp_path):
+    """STATS sums per-shard resend buffers from the event loop while
+    to_thread forward workers insert new streams into the same dicts;
+    the locked snapshot must never see 'dict changed size during
+    iteration' (surfacing as a spurious STATS error reply)."""
+    tier = _Tier(tmp_path, shards=2, durable=False)
+    packets = _packets()[:20]
+    errors = []
+    stop = threading.Event()
+
+    def hammer():
+        try:
+            with connect(socket_path=tier.sock) as client:
+                while not stop.is_set():
+                    reply = client.stats()
+                    assert reply["ok"], reply
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    thread = threading.Thread(target=hammer)
+    thread.start()
+    try:
+        with connect(socket_path=tier.sock) as client:
+            for i in range(40):
+                client.send_packets(packets, stream=f"r-{i}")
+            assert client.health()["ok"]
+            assert not client.async_errors
+    finally:
+        stop.set()
+        thread.join()
+        tier.stop()
     assert not errors, errors
 
 
