@@ -40,6 +40,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.scenarios import paper_scenario
 from repro.analysis.tables import format_stats_table
+from repro.backends import DEFAULT_BACKEND, available_backends, backend_names
 from repro.core.pipeline import DomoConfig, DomoReconstructor
 from repro.obs.spans import span
 from repro.sim import simulate_network
@@ -135,12 +136,13 @@ def _cmd_simulate(args) -> int:
 
 
 def _domo_config(args) -> DomoConfig:
-    """DomoConfig honoring the CLI's --workers and --validate knobs."""
+    """DomoConfig honoring --workers, --validate, and --backend knobs."""
     workers = getattr(args, "workers", None)
     return DomoConfig(
         parallel=workers is not None and workers > 1,
         max_workers=workers,
         validation=_validation_config(args),
+        backend=getattr(args, "backend", None) or DEFAULT_BACKEND,
     )
 
 
@@ -183,8 +185,26 @@ def _run_with_metrics(args, command: str, body) -> int:
     return code
 
 
+def _format_backends() -> str:
+    """One line per registered estimator backend, with its capabilities."""
+    lines = []
+    for name in backend_names():
+        caps = available_backends()[name].capabilities
+        default = "  (default)" if name == DEFAULT_BACKEND else ""
+        lines.append(
+            f"{name:16s} exact={str(caps.exact).lower():5s} "
+            f"relaxation={str(caps.supports_relaxation).lower():5s} "
+            f"cost_rank={caps.cost_rank}{default}"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_estimate(args) -> int:
     from repro.runtime.telemetry import format_telemetry_report
+
+    if args.list_backends:
+        print(_format_backends())
+        return 0
 
     def body() -> tuple[int, dict]:
         with span("setup"):
@@ -511,6 +531,8 @@ def _serve_child_argv(args, *, port) -> list[str]:
     ]
     if args.workers is not None:
         argv += ["--workers", str(args.workers)]
+    if getattr(args, "backend", None):
+        argv += ["--backend", args.backend]
     if args.wal_dir is not None:
         argv += [
             "--wal-dir", args.wal_dir,
@@ -645,6 +667,8 @@ def _cmd_route(args) -> int:
         ]
         if args.workers is not None:
             shard_argv += ["--workers", str(args.workers)]
+        if getattr(args, "backend", None):
+            shard_argv += ["--backend", args.backend]
         specs.append(
             ShardSpec(
                 name, shard_socket, argv=shard_argv,
@@ -688,6 +712,15 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", type=str, default=None, choices=backend_names(),
+        metavar="NAME",
+        help="estimator backend (default %s); list them with "
+             "'domo estimate --list-backends'" % DEFAULT_BACKEND,
+    )
+
+
 def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out", type=str, default=None, metavar="PATH",
@@ -703,7 +736,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Domo delay tomography (ICDCS'14) reproduction",
     )
     parser.add_argument(
-        "--version", action="version", version=f"domo {__version__}"
+        "--version", action="version",
+        version=(
+            f"domo {__version__}\n"
+            f"backends: {', '.join(backend_names())} "
+            f"(default {DEFAULT_BACKEND})"
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -727,6 +765,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver-stats", action="store_true",
         help="print per-run solver telemetry (iterations, residuals, "
              "window timings, status tally)",
+    )
+    _add_backend_argument(estimate)
+    estimate.add_argument(
+        "--list-backends", action="store_true",
+        help="list the registered estimator backends and exit",
     )
     _add_metrics_out(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
@@ -808,6 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--verbose", action="store_true",
         help="log each window commit to stderr as it happens")
+    _add_backend_argument(stream)
     _add_metrics_out(stream)
     stream.set_defaults(handler=_cmd_stream)
 
@@ -891,6 +935,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backoff-ms", type=float, default=200.0, metavar="MS",
         help="with --supervise: base restart delay, doubled per "
              "consecutive fast failure (default 200)")
+    _add_backend_argument(serve)
     _add_metrics_out(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -967,6 +1012,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backoff-ms", type=float, default=200.0, metavar="MS",
         help="per-shard base restart delay, doubled per consecutive "
              "fast failure (default 200)")
+    _add_backend_argument(route)
     _add_metrics_out(route)
     route.set_defaults(handler=_cmd_route)
     return parser

@@ -21,6 +21,7 @@ import math
 import time
 from dataclasses import dataclass, field, replace
 
+from repro.backends import CsConfig, DEFAULT_BACKEND, backend_names
 from repro.core.bounds import BoundComputer, BoundResult, BoundsConfig
 from repro.core.constraints import ConstraintConfig, build_constraints
 from repro.core.estimator import EstimatorConfig
@@ -99,11 +100,25 @@ class DomoConfig:
     constraints: ConstraintConfig = field(default_factory=ConstraintConfig)
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
     sdr: SdrConfig = field(default_factory=SdrConfig)
+    #: estimator backend by registry name: "domo-qp" (the paper's Eq. (8)
+    #: QP, default), "cs" (compressed-sensing tomography), or one of the
+    #: baselines ("mnt", "message-tracing"). See :mod:`repro.backends`.
+    backend: str = DEFAULT_BACKEND
+    cs: CsConfig = field(default_factory=CsConfig)
+    #: let the degradation ladder re-solve a window with the cheap "cs"
+    #: backend when every relaxed re-solve of the configured backend
+    #: failed, instead of surrendering straight to interval midpoints.
+    backend_downgrade: bool = False
 
     def __post_init__(self) -> None:
         if self.fifo_mode not in FIFO_MODES:
             raise ValueError(
                 f"fifo_mode {self.fifo_mode!r} not in {FIFO_MODES}"
+            )
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"backend {self.backend!r} not registered; "
+                f"known backends: {', '.join(backend_names())}"
             )
         if self.window_span_ms is not None and self.window_span_ms <= 0.0:
             raise ValueError(
@@ -120,6 +135,27 @@ class DomoConfig:
         self.estimator = replace(self.estimator, epsilon_ms=self.epsilon_ms)
         self.sdr = replace(self.sdr, estimator=self.estimator)
         self.validation = replace(self.validation, omega_ms=self.omega_ms)
+
+    def solve_spec(self):
+        """The per-window solve spec this config implies.
+
+        Single construction point shared by the streaming engine and the
+        serve tier, so every path hands workers the same
+        :class:`~repro.runtime.executor.WindowSolveSpec`.
+        """
+        # Imported here, not at module scope: repro.runtime.executor
+        # already builds on repro.backends and would otherwise lengthen
+        # this module's import chain for every consumer.
+        from repro.runtime.executor import WindowSolveSpec
+
+        return WindowSolveSpec(
+            fifo_mode=self.fifo_mode,
+            estimator=self.estimator,
+            sdr=self.sdr,
+            backend=self.backend,
+            cs=self.cs,
+            allow_backend_downgrade=self.backend_downgrade,
+        )
 
 
 @dataclass

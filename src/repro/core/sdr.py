@@ -29,7 +29,7 @@ import scipy.sparse as sp
 
 from repro.constants import INF
 from repro.core.constraints import ConstraintSystem
-from repro.core.estimator import EstimatorConfig, enumerate_pairs, _linear_form
+from repro.backends.domo_qp import EstimatorConfig, enumerate_pairs, _linear_form
 from repro.core.records import ArrivalKey
 from repro.optim.result import SolverError, SolverResult
 from repro.optim.sdp import PSDBlock, SDPProblem, SDPSettings, solve_sdp

@@ -28,8 +28,19 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 
-#: solver kinds a window solve can report.
-SOLVER_KINDS = ("linearized", "sdr", "fallback", "empty")
+#: solver kinds a window solve can report. The first four are the
+#: ``domo-qp`` backend's (and the midpoint fallback); the rest come from
+#: the alternative estimator backends (:mod:`repro.backends`).
+SOLVER_KINDS = (
+    "linearized",
+    "sdr",
+    "fallback",
+    "empty",
+    "cs-ista",
+    "cs-omp",
+    "mnt",
+    "message-tracing",
+)
 
 
 @dataclass(frozen=True)
@@ -64,6 +75,9 @@ class WindowTelemetry:
     relax_stage: str = "full"
     #: solve attempts made on this window (1 = first try succeeded).
     solve_attempts: int = 1
+    #: estimator backend that produced the estimates (registry name;
+    #: may differ from the configured backend after a ladder downgrade).
+    backend: str = "domo-qp"
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -72,6 +86,7 @@ class WindowTelemetry:
         """Feed this record into a metrics registry (once per window)."""
         registry.inc("pipeline.windows_solved")
         registry.inc(f"pipeline.windows.{self.solver}")
+        registry.inc(f"pipeline.backend.{self.backend}")
         registry.observe(
             "window.solve_seconds", self.solve_time_s, TIME_EDGES_S
         )
@@ -148,6 +163,7 @@ def summarize_telemetry(records: list[WindowTelemetry]) -> dict:
         "relaxed_windows": 0,
         "relax_retries": 0,
         "relax_rung_histogram": {},
+        "backend_windows": {},
     }
     for record in records:
         key = {
@@ -177,6 +193,9 @@ def summarize_telemetry(records: list[WindowTelemetry]) -> dict:
                 stats["relax_rung_histogram"].get(record.relax_stage, 0) + 1
             )
         stats["relax_retries"] += max(0, record.solve_attempts - 1)
+        stats["backend_windows"][record.backend] = (
+            stats["backend_windows"].get(record.backend, 0) + 1
+        )
     stats["window_telemetry"] = [record.as_dict() for record in records]
     return stats
 
@@ -198,6 +217,12 @@ def format_telemetry_report(stats: dict) -> str:
         f"max primal residual  : {stats.get('max_primal_residual', 0.0):.3g}",
         f"max dual residual    : {stats.get('max_dual_residual', 0.0):.3g}",
     ]
+    backends = stats.get("backend_windows", {})
+    if backends:
+        rendered = ", ".join(
+            f"{name}: {count}" for name, count in sorted(backends.items())
+        )
+        lines.append(f"backend windows      : {rendered}")
     counts = stats.get("status_counts", {})
     if counts:
         rendered = ", ".join(

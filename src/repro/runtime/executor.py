@@ -36,10 +36,15 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pickle import PicklingError
 
-from repro.core.estimator import EstimatorConfig, estimate_arrival_times_info
+from repro.backends import (
+    DEFAULT_BACKEND,
+    CsConfig,
+    EstimatorConfig,
+    get_backend,
+)
 from repro.core.preprocessor import WindowSystem
 from repro.core.records import ArrivalKey
-from repro.core.sdr import SdrConfig, solve_window_sdr_info
+from repro.core.sdr import SdrConfig
 from repro.obs.registry import (
     COUNT_EDGES,
     current_registry,
@@ -52,11 +57,23 @@ from repro.runtime.telemetry import WindowTelemetry
 
 @dataclass(frozen=True)
 class WindowSolveSpec:
-    """Everything a worker needs to solve one window (picklable)."""
+    """Everything a worker needs to solve one window (picklable).
+
+    Carries every backend's config (``estimator``, ``sdr``, ``cs``) so
+    one frozen object crosses the process-pool boundary regardless of
+    which registered backend ``backend`` names.
+    """
 
     fifo_mode: str = "linearized"
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
     sdr: SdrConfig = field(default_factory=SdrConfig)
+    #: registry name of the estimator backend (see :mod:`repro.backends`).
+    backend: str = DEFAULT_BACKEND
+    cs: CsConfig = field(default_factory=CsConfig)
+    #: allow the degradation ladder's final pre-midpoint rung: re-solve
+    #: a window whose configured backend failed every relaxation with
+    #: the cheaper ``cs`` backend instead of surrendering to midpoints.
+    allow_backend_downgrade: bool = False
 
 
 @dataclass
@@ -104,9 +121,14 @@ RELAXATION_LADDER: tuple[tuple[str, object], ...] = (
     ),
 )
 
+#: rung index reported when every relaxation failed and the window was
+#: re-solved by the cheaper ``cs`` backend (only when the spec enables
+#: ``allow_backend_downgrade`` and the configured backend is costlier).
+BACKEND_DOWNGRADE_RUNG = len(RELAXATION_LADDER) + 1
+
 #: rung index reported when even the order-only system failed and the
 #: window fell back to interval midpoints.
-MIDPOINT_RUNG = len(RELAXATION_LADDER) + 1
+MIDPOINT_RUNG = len(RELAXATION_LADDER) + 2
 
 
 def _relaxed_system(system, keep):
@@ -152,6 +174,8 @@ def _solve_one_window_inner(
 ) -> WindowResult:
     started = time.perf_counter()
     system = ws.system
+    backend = get_backend(spec.backend)
+    solved_by = backend.name
     solver = "linearized"
     status = "optimal"
     iterations = 0
@@ -163,38 +187,56 @@ def _solve_one_window_inner(
     result = None
     try:
         attempts += 1
-        if system.num_unknowns == 0:
-            solver = "empty"
-            estimates, result = {}, None
-        elif (
-            spec.fifo_mode == "sdr"
-            and system.num_unknowns <= spec.sdr.max_unknowns
-        ):
-            solver = "sdr"
-            estimates, result = solve_window_sdr_info(system, spec.sdr)
-        else:
-            estimates, result = estimate_arrival_times_info(
-                system, spec.estimator
-            )
+        solution = backend.solve_window(system, spec)
+        estimates, result, solver = (
+            solution.estimates, solution.result, solution.solver
+        )
     except SolverError:
         # Degradation ladder: retry with whole constraint families
-        # removed before surrendering to midpoints. Relaxed re-solves
-        # always use the linearized QP — the SDR lift exists to encode
-        # the FIFO products, which the ladder is discarding anyway.
-        for rung, (stage, keep) in enumerate(RELAXATION_LADDER, start=1):
-            relaxed = _relaxed_system(system, keep)
-            try:
-                attempts += 1
-                estimates, result = estimate_arrival_times_info(
-                    relaxed, spec.estimator
-                )
-                solver = "linearized"
-                relax_rung = rung
-                relax_stage = stage
-                break
-            except SolverError:
-                continue
-        else:
+        # removed before surrendering to midpoints. Backends that never
+        # consume the constraint rows would return the same answer at
+        # every rung, so the ladder only walks for those that do.
+        if backend.capabilities.supports_relaxation:
+            for rung, (stage, keep) in enumerate(
+                RELAXATION_LADDER, start=1
+            ):
+                relaxed = _relaxed_system(system, keep)
+                try:
+                    attempts += 1
+                    solution = backend.solve_relaxed(relaxed, spec)
+                    estimates, result, solver = (
+                        solution.estimates,
+                        solution.result,
+                        solution.solver,
+                    )
+                    relax_rung = rung
+                    relax_stage = stage
+                    break
+                except SolverError:
+                    continue
+        if estimates is None and spec.allow_backend_downgrade:
+            # Pre-midpoint rung: downgrade the window to the cheap CS
+            # backend. Only a *downgrade* is eligible — a backend no
+            # costlier than CS gains nothing from the swap.
+            downgraded = get_backend("cs")
+            if (
+                downgraded.capabilities.cost_rank
+                < backend.capabilities.cost_rank
+            ):
+                try:
+                    attempts += 1
+                    solution = downgraded.solve_window(system, spec)
+                    estimates, result, solver = (
+                        solution.estimates,
+                        solution.result,
+                        solution.solver,
+                    )
+                    solved_by = downgraded.name
+                    relax_rung = BACKEND_DOWNGRADE_RUNG
+                    relax_stage = "cs_downgrade"
+                except SolverError:
+                    pass
+        if estimates is None:
             solver = "fallback"
             status = "fallback"
             relax_rung = MIDPOINT_RUNG
@@ -228,6 +270,7 @@ def _solve_one_window_inner(
         relax_rung=relax_rung,
         relax_stage=relax_stage,
         solve_attempts=attempts,
+        backend=solved_by,
     )
     return WindowResult(
         window_index=window_index, estimates=kept, telemetry=telemetry
@@ -332,14 +375,21 @@ class WindowExecutor:
         for payload in pending:
             self._done.append(_solve_entry(payload))
 
-    def submit(self, window_index: int, ws: WindowSystem) -> None:
+    def submit(
+        self,
+        window_index: int,
+        ws: WindowSystem,
+        spec: WindowSolveSpec | None = None,
+    ) -> None:
         """Queue one window for solving; never blocks on other windows.
 
         (Serial mode solves inline, which does take this solve's wall
         time, but nothing waits on other windows.) Safe to call from
-        multiple producer threads.
+        multiple producer threads. ``spec`` overrides the executor's
+        default solve spec for this window only — the serve tier uses
+        this to run per-stream backends over one shared pool.
         """
-        payload = (window_index, ws, self.spec)
+        payload = (window_index, ws, spec if spec is not None else self.spec)
         registry = current_registry()
         registry.inc("executor.submitted")
         registry.observe(

@@ -56,13 +56,30 @@ class ServeClient:
 
     # -- transport ------------------------------------------------------
 
-    def send_packet(self, packet, stream: str = DEFAULT_STREAM) -> None:
-        """Pipeline one record (no ack; see :attr:`async_errors`)."""
-        self._sock.sendall(encode_record(stream, packet))
+    def send_packet(
+        self,
+        packet,
+        stream: str = DEFAULT_STREAM,
+        backend: str | None = None,
+    ) -> None:
+        """Pipeline one record (no ack; see :attr:`async_errors`).
 
-    def send_packets(self, packets, stream: str = DEFAULT_STREAM) -> int:
+        ``backend`` picks the stream's estimator backend; it only takes
+        effect on the record that opens the stream (see the protocol
+        module docstring).
+        """
+        self._sock.sendall(encode_record(stream, packet, backend=backend))
+
+    def send_packets(
+        self,
+        packets,
+        stream: str = DEFAULT_STREAM,
+        backend: str | None = None,
+    ) -> int:
         """Pipeline a batch of records in one buffered write."""
-        chunk = b"".join(encode_record(stream, p) for p in packets)
+        chunk = b"".join(
+            encode_record(stream, p, backend=backend) for p in packets
+        )
         self._sock.sendall(chunk)
         return chunk.count(b"\n")
 

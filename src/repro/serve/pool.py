@@ -51,13 +51,16 @@ _POLL_SLEEP_S = 0.002
 class _SessionLane:
     """One session's view of the pool: queued work and routed results."""
 
-    def __init__(self) -> None:
+    def __init__(self, spec: WindowSolveSpec | None = None) -> None:
         #: built systems waiting for an executor slot: (local_index, ws).
         self.queued: deque = deque()
         #: tickets currently inside the executor.
         self.in_flight: set[int] = set()
         #: results routed back, local window indices restored.
         self.mailbox: list[WindowResult] = []
+        #: per-stream solve-spec override (None = the pool's spec); how
+        #: one shared pool runs different estimator backends per stream.
+        self.spec = spec
 
     @property
     def outstanding(self) -> int:
@@ -113,14 +116,21 @@ class SharedSolverPool:
 
     # -- session lifecycle ---------------------------------------------
 
-    def session(self, session_id: str) -> "SessionExecutor":
-        """Register ``session_id`` and return its executor facade."""
+    def session(
+        self, session_id: str, spec: WindowSolveSpec | None = None
+    ) -> "SessionExecutor":
+        """Register ``session_id`` and return its executor facade.
+
+        ``spec`` overrides the pool-wide solve spec for this session's
+        windows only (per-stream estimator backends); ``None`` keeps
+        the pool default.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("solver pool is closed")
             if session_id in self._lanes:
                 raise ValueError(f"session {session_id!r} already registered")
-            self._lanes[session_id] = _SessionLane()
+            self._lanes[session_id] = _SessionLane(spec)
             self._rotation.append(session_id)
         return SessionExecutor(self, session_id)
 
@@ -152,9 +162,9 @@ class SharedSolverPool:
             lane.queued.append((local_index, ws))
         self._dispatch()
 
-    def _take_dispatchable(self) -> list[tuple[int, object]]:
+    def _take_dispatchable(self) -> list[tuple[int, object, object]]:
         """Pick the next round-robin batch of tickets (under the lock)."""
-        batch: list[tuple[int, object]] = []
+        batch: list[tuple[int, object, object]] = []
         with self._lock:
             resident = len(self._routes)
             # One full rotation with no dispatchable lane ends the scan.
@@ -174,7 +184,7 @@ class SharedSolverPool:
                 self._next_ticket += 1
                 self._routes[ticket] = (session_id, local_index)
                 lane.in_flight.add(ticket)
-                batch.append((ticket, ws))
+                batch.append((ticket, ws, lane.spec))
         return batch
 
     def _dispatch(self) -> None:
@@ -189,8 +199,8 @@ class SharedSolverPool:
             if not batch:
                 return
             with registry_scope(self.registry):
-                for ticket, ws in batch:
-                    self._executor.submit(ticket, ws)
+                for ticket, ws, spec in batch:
+                    self._executor.submit(ticket, ws, spec)
 
     def _route(self, results: list[WindowResult]) -> None:
         with self._lock:

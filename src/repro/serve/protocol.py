@@ -7,7 +7,11 @@ lines in either of two shapes:
   JSONL trace-record shape (``id``/``path``/``t0``/``t_sink``/
   ``sum_of_delays``, exactly what ``domo simulate --save-stream``
   writes) plus an optional ``"stream"`` key naming the session the
-  record belongs to (default ``"default"``). Records are *not* acked
+  record belongs to (default ``"default"``) and an optional
+  ``"backend"`` key choosing the stream's estimator backend (see
+  :mod:`repro.backends`; only honored on the record that opens the
+  stream — a conflicting backend on a live stream is an async error).
+  Records are *not* acked
   individually — throughput would otherwise be round-trip bound — but a
   rejected record (unknown session capacity, malformed payload, drained
   stream) produces an asynchronous error line tagged ``"async": true``
@@ -106,10 +110,17 @@ class ProtocolError(ValueError):
 
 @dataclass(frozen=True)
 class RecordLine:
-    """One parsed data record: which stream it feeds and the packet."""
+    """One parsed data record: which stream it feeds and the packet.
+
+    ``backend`` carries the record's optional ``"backend"`` key: the
+    estimator backend the stream should be opened with (``None`` = the
+    server default). Only the *first* record of a stream can choose —
+    a different backend on a live stream is an async error.
+    """
 
     stream: str
     packet: ReceivedPacket
+    backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -151,18 +162,29 @@ def parse_line(line: str, lineno: int = 0) -> RecordLine | CommandLine | None:
         if not isinstance(item, dict):
             raise ProtocolError("record line is not a JSON object")
         stream = _validate_stream_id(item.pop("stream", DEFAULT_STREAM))
+        backend = item.pop("backend", None)
+        if backend is not None and (
+            not isinstance(backend, str) or not backend
+        ):
+            raise ProtocolError(
+                f"backend must be a nonempty string, got {backend!r}"
+            )
         try:
             packet = packet_from_json(item, lineno)
         except TraceFormatError as exc:
             raise ProtocolError(str(exc))
-        return RecordLine(stream=stream, packet=packet)
+        return RecordLine(stream=stream, packet=packet, backend=backend)
     parts = line.split()
     return CommandLine(verb=parts[0].upper(), args=tuple(parts[1:]))
 
 
-def encode_record(stream: str, packet: ReceivedPacket) -> bytes:
+def encode_record(
+    stream: str, packet: ReceivedPacket, backend: str | None = None
+) -> bytes:
     """One data record as wire bytes (the client-side encoder)."""
     item = {"stream": stream, **packet_to_json(packet)}
+    if backend is not None:
+        item["backend"] = backend
     return (json.dumps(item, separators=(",", ":")) + "\n").encode("utf-8")
 
 

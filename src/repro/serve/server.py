@@ -62,7 +62,12 @@ from repro.serve.protocol import (
     parse_since,
 )
 from repro.serve.durability import DurabilityConfig
-from repro.serve.session import SessionLimitError, SessionManager, StreamSession
+from repro.serve.session import (
+    BackendMismatchError,
+    SessionLimitError,
+    SessionManager,
+    StreamSession,
+)
 
 __all__ = ["ReconstructionServer", "ServerHandle", "run_in_thread"]
 
@@ -230,8 +235,10 @@ class ReconstructionServer(LineProtocolServer):
         self, conn_id: int, record: RecordLine, writer
     ) -> None:
         try:
-            lane = self._lane(record.stream)
-        except SessionLimitError as exc:
+            lane = self._lane(record.stream, backend=record.backend)
+        except (SessionLimitError, ValueError) as exc:
+            # ValueError covers an unknown backend name and a
+            # BackendMismatchError (a live stream asked to switch).
             self._records_rejected += 1
             await self._send(
                 writer,
@@ -273,19 +280,27 @@ class ReconstructionServer(LineProtocolServer):
         await lane.queue.put(record.packet)
         self._records_accepted += 1
 
-    def _lane(self, stream_id: str) -> _StreamLane:
+    def _lane(
+        self, stream_id: str, backend: str | None = None
+    ) -> _StreamLane:
         lane = self._lanes.get(stream_id)
-        if lane is None:
-            session = self.manager.get_or_create(stream_id)
-            lane = _StreamLane(session, self.queue_capacity)
-            # Pumps live outside _bg_tasks: _drain settles the short-
-            # lived background work (evictions) *before* stopping the
-            # pumps, because evictions wait on queues only pumps empty.
-            lane.pump = asyncio.get_running_loop().create_task(
-                self._pump(lane)
-            )
-            with self._lanes_lock:
-                self._lanes[stream_id] = lane
+        if lane is not None:
+            if backend is not None and backend != lane.session.backend:
+                raise BackendMismatchError(
+                    f"stream {stream_id!r} runs backend "
+                    f"{lane.session.backend!r}; cannot switch to {backend!r}"
+                )
+            return lane
+        session = self.manager.get_or_create(stream_id, backend=backend)
+        lane = _StreamLane(session, self.queue_capacity)
+        # Pumps live outside _bg_tasks: _drain settles the short-
+        # lived background work (evictions) *before* stopping the
+        # pumps, because evictions wait on queues only pumps empty.
+        lane.pump = asyncio.get_running_loop().create_task(
+            self._pump(lane)
+        )
+        with self._lanes_lock:
+            self._lanes[stream_id] = lane
         return lane
 
     # ------------------------------------------------------------------

@@ -29,14 +29,16 @@ bit-exactly (see :mod:`repro.serve.durability`).
 
 from __future__ import annotations
 
+import json
+import os
 import shutil
 import threading
 import urllib.parse
+from dataclasses import replace
 
 from repro.core.pipeline import DomoConfig
 from repro.obs.registry import MetricsRegistry, registry_scope
 from repro.obs.spans import span
-from repro.runtime.executor import WindowSolveSpec
 from repro.serve.durability import (
     DurabilityConfig,
     load_latest_snapshot,
@@ -56,11 +58,24 @@ from repro.serve.pool import SharedSolverPool
 from repro.serve.protocol import committed_window_to_json
 from repro.stream.engine import StreamingReconstructor
 
-__all__ = ["SessionLimitError", "SessionManager", "StreamSession"]
+__all__ = [
+    "BackendMismatchError",
+    "SessionLimitError",
+    "SessionManager",
+    "StreamSession",
+]
+
+#: per-stream metadata persisted next to the WAL so a crash *before the
+#: first snapshot* still recovers the stream under its chosen backend.
+BACKEND_META_FILE = "backend.json"
 
 
 class SessionLimitError(RuntimeError):
     """Admission control refused to create another session."""
+
+
+class BackendMismatchError(ValueError):
+    """A record asked a live stream to switch estimator backends."""
 
 
 class StreamSession:
@@ -76,8 +91,12 @@ class StreamSession:
     ) -> None:
         self.stream_id = stream_id
         self.registry = MetricsRegistry()
+        #: the stream's *effective* config (the manager folds a
+        #: per-stream backend choice in before constructing the session).
+        self.config = config
+        self.backend = config.backend
         self._pool = pool
-        self._executor = pool.session(stream_id)
+        self._executor = pool.session(stream_id, spec=config.solve_spec())
         self._durability = durability
         self.engine = StreamingReconstructor(
             config, lateness_ms=lateness_ms, executor=self._executor
@@ -161,6 +180,7 @@ class StreamSession:
             "wal_cursor": self._durability.wal_cursor,
             "records_durable": self._durability.records_durable,
             "config_sig": self._durability.config_sig,
+            "backend": self.backend,
             "session": {
                 "results": self.results,
                 "records_in": self.records_in,
@@ -204,6 +224,7 @@ class StreamSession:
             ),
             "records_durable": self.records_durable,
             "config_sig": config_sig,
+            "backend": self.backend,
             "session": {
                 "results": self.results,
                 "records_in": self.records_in,
@@ -292,6 +313,7 @@ class StreamSession:
         # session's pump thread may be mid-ingest, and scalar reads are
         # safe where iterating the engine's dicts would not be.
         return {
+            "backend": self.backend,
             "records_in": self.records_in,
             "records_durable": self.records_durable,
             "windows_committed": len(self.results),
@@ -332,11 +354,7 @@ class SessionManager:
         self.adoption_grace_s = float(adoption_grace_s)
         self._config_sig = config_signature(self.config, lateness_ms)
         self.pool = pool or SharedSolverPool(
-            WindowSolveSpec(
-                fifo_mode=self.config.fifo_mode,
-                estimator=self.config.estimator,
-                sdr=self.config.sdr,
-            ),
+            self.config.solve_spec(),
             parallel=self.config.parallel,
             max_workers=self.config.max_workers,
         )
@@ -361,16 +379,44 @@ class SessionManager:
     def get(self, stream_id: str) -> StreamSession | None:
         return self._sessions.get(stream_id)
 
-    def get_or_create(self, stream_id: str) -> StreamSession:
+    def _effective_config(self, backend: str | None) -> DomoConfig:
+        """The per-stream config a backend choice implies.
+
+        ``None`` (no choice on the wire) and the server's own backend
+        both collapse to the shared default config object, so default
+        streams stay byte-identical to the pre-backend server.
+        """
+        if backend is None or backend == self.config.backend:
+            return self.config
+        # replace() re-runs DomoConfig validation, so an unknown backend
+        # name raises ValueError here — the server turns that into an
+        # async error line instead of opening the stream.
+        return replace(self.config, backend=backend)
+
+    def _sig_for(self, config: DomoConfig) -> str:
+        return config_signature(config, self.lateness_ms)
+
+    def get_or_create(
+        self, stream_id: str, backend: str | None = None
+    ) -> StreamSession:
         """The stream's session, admitting a new one if allowed.
 
-        Raises :class:`SessionLimitError` when ``max_sessions`` *active*
-        sessions already exist — drained sessions stay queryable but do
-        not hold an admission slot.
+        ``backend`` is the record's estimator-backend choice: honored
+        when it opens the stream, a no-op when it matches the live
+        session, and a :class:`BackendMismatchError` when it conflicts
+        with one. Raises :class:`SessionLimitError` when
+        ``max_sessions`` *active* sessions already exist — drained
+        sessions stay queryable but do not hold an admission slot.
         """
         with self._lock:
             session = self._sessions.get(stream_id)
             if session is not None:
+                if backend is not None and session.backend != backend:
+                    raise BackendMismatchError(
+                        f"stream {stream_id!r} is running backend "
+                        f"{session.backend!r}; cannot switch to "
+                        f"{backend!r} on a live stream"
+                    )
                 return session
             if self._active_locked() >= self.max_sessions:
                 self.sessions_rejected += 1
@@ -378,22 +424,60 @@ class SessionManager:
                     f"session limit reached ({self.max_sessions} active); "
                     f"stream {stream_id!r} refused"
                 )
+            config = self._effective_config(backend)
+            durability = self._durability_for(
+                stream_id, self._sig_for(config)
+            )
+            self._write_backend_meta(durability, config.backend)
             session = StreamSession(
                 stream_id,
-                self.config,
+                config,
                 self.lateness_ms,
                 self.pool,
-                durability=self._durability_for(stream_id),
+                durability=durability,
             )
             self._sessions[stream_id] = session
             return session
 
-    def _durability_for(self, stream_id: str) -> StreamDurability | None:
+    def _durability_for(
+        self, stream_id: str, config_sig: str | None = None
+    ) -> StreamDurability | None:
         if self.durability is None:
             return None
         return StreamDurability(
-            self.durability, stream_id, config_sig=self._config_sig
+            self.durability,
+            stream_id,
+            config_sig=config_sig if config_sig is not None
+            else self._config_sig,
         )
+
+    @staticmethod
+    def _write_backend_meta(
+        durability: StreamDurability | None, backend: str
+    ) -> None:
+        """Persist the stream's backend choice next to its WAL.
+
+        Written at session creation (before any snapshot exists), so a
+        crash at any point recovers the stream under the backend it was
+        opened with. The write is atomic (tmp + rename) — a torn meta
+        file must not take recovery down.
+        """
+        if durability is None:
+            return
+        path = durability.stream_dir / BACKEND_META_FILE
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps({"backend": backend}))
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read_backend_meta(stream_dir) -> str | None:
+        """The backend a stream directory was opened with (None = default
+        or pre-backend layout; unreadable files degrade to None too)."""
+        path = stream_dir / BACKEND_META_FILE
+        try:
+            return json.loads(path.read_text())["backend"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
 
     # -- crash recovery ----------------------------------------------------
 
@@ -435,24 +519,27 @@ class SessionManager:
         committed results stay queryable — while WAL corruption stays
         fatal (raised from the writer's open or the replay iterator).
         """
+        state_dir = stream_state_dir(self.durability.wal_dir, stream_id)
+        config = self._effective_config(self._read_backend_meta(state_dir))
+        config_sig = self._sig_for(config)
         durability = StreamDurability(
-            self.durability, stream_id, config_sig=self._config_sig
+            self.durability, stream_id, config_sig=config_sig
         )
         snapshot = load_latest_snapshot(durability.stream_dir)
         cursor = 0
         if snapshot is not None:
-            if snapshot.get("config_sig") != self._config_sig:
+            if snapshot.get("config_sig") != config_sig:
                 raise SnapshotConfigMismatchError(
                     f"stream {stream_id!r}: snapshot at WAL cursor "
                     f"{snapshot.get('wal_cursor')} was taken under config "
                     f"signature {snapshot.get('config_sig')!r}, server is "
-                    f"running {self._config_sig!r}; restore the original "
+                    f"running {config_sig!r}; restore the original "
                     f"config or clear {durability.stream_dir}"
                 )
             cursor = snapshot["wal_cursor"]
         session = StreamSession(
             stream_id,
-            self.config,
+            config,
             self.lateness_ms,
             self.pool,
             durability=durability,
@@ -460,7 +547,7 @@ class SessionManager:
         if snapshot is not None:
             session.engine = StreamingReconstructor.from_state(
                 snapshot["engine"],
-                self.config,
+                config,
                 lateness_ms=self.lateness_ms,
                 executor=session._executor,
             )
@@ -530,7 +617,7 @@ class SessionManager:
             session = self._sessions.get(stream_id)
         if session is None:
             raise KeyError(f"unknown stream {stream_id!r}")
-        document = session.export_document(self._config_sig)
+        document = session.export_document(self._sig_for(session.config))
         self._retire(session)
         self.sessions_exported += 1
         return document
@@ -566,11 +653,13 @@ class SessionManager:
                 f"import of stream {stream_id!r}: document schema "
                 f"{document.get('schema')!r} != {SNAPSHOT_SCHEMA!r}"
             )
-        if document.get("config_sig") != self._config_sig:
+        config = self._effective_config(document.get("backend"))
+        config_sig = self._sig_for(config)
+        if document.get("config_sig") != config_sig:
             raise SnapshotConfigMismatchError(
                 f"import of stream {stream_id!r}: exported under config "
                 f"signature {document.get('config_sig')!r}, this server "
-                f"is running {self._config_sig!r}"
+                f"is running {config_sig!r}"
             )
         with self._lock:
             existing = self._sessions.get(stream_id)
@@ -585,18 +674,19 @@ class SessionManager:
             if state_dir.exists():
                 shutil.rmtree(state_dir)
             durability = StreamDurability(
-                self.durability, stream_id, config_sig=self._config_sig
+                self.durability, stream_id, config_sig=config_sig
             )
+            self._write_backend_meta(durability, config.backend)
         session = StreamSession(
             stream_id,
-            self.config,
+            config,
             self.lateness_ms,
             self.pool,
             durability=durability,
         )
         session.engine = StreamingReconstructor.from_state(
             document["engine"],
-            self.config,
+            config,
             lateness_ms=self.lateness_ms,
             executor=session._executor,
         )

@@ -491,11 +491,7 @@ class StreamingReconstructor:
         if self._executor is None:
             config = self.config
             self._executor = WindowExecutor(
-                WindowSolveSpec(
-                    fifo_mode=config.fifo_mode,
-                    estimator=config.estimator,
-                    sdr=config.sdr,
-                ),
+                config.solve_spec(),
                 parallel=config.parallel,
                 max_workers=config.max_workers,
             )

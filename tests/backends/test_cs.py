@@ -1,0 +1,190 @@
+"""Tests of the compressed-sensing tomography backend.
+
+Hand-built traces with known routing make the (A, y', nodes) system
+checkable entry by entry; planted sparse vectors validate the ISTA/OMP
+recovery; the expansion tests pin the invariants the backend promises by
+construction (exact endpoints, monotone along the path, inside the
+Eq. (5) intervals).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import CsConfig, get_backend
+from repro.backends.cs import (
+    build_routing_system,
+    expand_to_arrival_times,
+    ista_recover,
+    omp_recover,
+)
+from repro.core.constraints import ConstraintConfig, build_constraints
+from repro.core.records import ArrivalKey, TraceIndex
+from repro.optim.result import SolverStatus
+from repro.runtime.executor import WindowSolveSpec
+from repro.sim.packet import PacketId
+
+from tests.core.conftest import bundle_of, make_received
+
+
+def _system(bundle, **cfg):
+    index = TraceIndex(list(bundle.received))
+    return build_constraints(index, ConstraintConfig(**cfg))
+
+
+# -- routing matrix ------------------------------------------------------
+
+
+def test_routing_system_rows_columns_and_reference_deltas():
+    a = make_received(2, 0, (2, 1, 0), (0.0, 10.0, 22.0))
+    b = make_received(3, 0, (3, 1, 0), (5.0, 14.0, 30.0))
+    c = make_received(1, 0, (1, 0), (40.0, 50.0))
+    system = _system(bundle_of(a, b, c))
+    A, y, nodes = build_routing_system(system)
+    # Columns are the forwarding nodes, sorted; the sink never appears.
+    assert nodes == [1, 2, 3]
+    assert A.shape == (3, 3)
+    # One row per packet: visit counts at [node 1, node 2, node 3].
+    assert A.tolist() == [
+        [1.0, 1.0, 0.0],  # a: 2 -> 1 -> 0
+        [1.0, 0.0, 1.0],  # b: 3 -> 1 -> 0
+        [1.0, 0.0, 0.0],  # c: 1 -> 0
+    ]
+    # y' = end-to-end delay minus omega (default 1 ms) per hop.
+    assert y.tolist() == [20.0, 23.0, 9.0]
+
+
+def test_routing_system_counts_revisits():
+    p = make_received(2, 0, (2, 1, 3, 1, 0), (0.0, 9.0, 18.0, 27.0, 40.0))
+    system = _system(bundle_of(p))
+    A, y, nodes = build_routing_system(system)
+    assert nodes == [1, 2, 3]
+    # Node 1 is crossed twice; the row weights it accordingly.
+    assert A.tolist() == [[2.0, 1.0, 1.0]]
+    assert y.tolist() == [40.0 - 4 * 1.0]
+
+
+# -- sparse recovery -----------------------------------------------------
+
+
+def _planted(seed=0, rows=40, cols=12):
+    rng = np.random.default_rng(seed)
+    A = rng.integers(0, 2, size=(rows, cols)).astype(float)
+    x_true = np.zeros(cols)
+    x_true[3] = 5.0
+    x_true[7] = 2.0
+    return A, x_true, A @ x_true
+
+
+def test_ista_recovers_a_planted_sparse_vector():
+    A, x_true, y = _planted()
+    config = CsConfig(
+        lambda_scale=1e-4, max_iterations=5000, tolerance=1e-12
+    )
+    x, iterations = ista_recover(A, y, config)
+    assert iterations > 0
+    assert np.all(x >= 0.0)
+    assert np.allclose(x, x_true, atol=0.05)
+
+
+def test_omp_recovers_a_planted_sparse_vector_exactly():
+    A, x_true, y = _planted(seed=1)
+    x, iterations = omp_recover(A, y, CsConfig(solver="omp"))
+    # OMP finds the two-column support and least-squares nails it.
+    assert iterations >= 2
+    assert np.allclose(x, x_true, atol=1e-8)
+
+
+@pytest.mark.parametrize("recover", [ista_recover, omp_recover])
+def test_recovery_degenerate_inputs_return_zero(recover):
+    config = CsConfig()
+    x, iterations = recover(np.zeros((0, 5)), np.zeros(0), config)
+    assert x.tolist() == [0.0] * 5
+    assert iterations == 0
+    A = np.ones((4, 3))
+    x, iterations = recover(A, np.zeros(4), config)
+    assert x.tolist() == [0.0] * 3
+    assert iterations == 0
+
+
+# -- per-packet expansion ------------------------------------------------
+
+
+def test_expansion_with_no_congestion_splits_delay_uniformly():
+    p = make_received(3, 0, (3, 2, 1, 0), (0.0, 10.0, 20.0, 30.0))
+    system = _system(bundle_of(p))
+    estimates = expand_to_arrival_times(system, {})
+    assert set(estimates) == set(system.variables.keys())
+    pid = PacketId(3, 0)
+    assert estimates[ArrivalKey(pid, 1)] == pytest.approx(10.0)
+    assert estimates[ArrivalKey(pid, 2)] == pytest.approx(20.0)
+
+
+def test_expansion_shifts_delay_onto_the_congested_node():
+    p = make_received(3, 0, (3, 2, 1, 0), (0.0, 2.0, 28.0, 30.0))
+    system = _system(bundle_of(p))
+    uniform = expand_to_arrival_times(system, {})
+    congested = expand_to_arrival_times(system, {2: 24.0})
+    pid = PacketId(3, 0)
+    # Most of the 30 ms now sits at node 2 (the hop into index 2), so
+    # the hop-2 arrival moves later than the uniform split's.
+    assert congested[ArrivalKey(pid, 2)] > uniform[ArrivalKey(pid, 2)]
+    # Invariants hold regardless: monotone along the path, in-interval.
+    for estimates in (uniform, congested):
+        assert estimates[ArrivalKey(pid, 1)] < estimates[ArrivalKey(pid, 2)]
+        for key, value in estimates.items():
+            low, high = system.intervals[key]
+            assert low <= value <= high
+
+
+def test_expansion_clamps_into_trivial_intervals():
+    p = make_received(3, 0, (3, 2, 1, 0), (0.0, 1.0, 2.0, 3.0))
+    system = _system(bundle_of(p))
+    # A huge recovered delay at node 3 would push hop 1 past the sink;
+    # the clamp keeps every estimate inside its interval.
+    estimates = expand_to_arrival_times(system, {3: 1e6})
+    for key, value in estimates.items():
+        low, high = system.intervals[key]
+        assert low <= value <= high
+
+
+# -- the backend end to end ---------------------------------------------
+
+
+def _busy_bundle():
+    x = make_received(2, 0, (2, 1, 0), (0.0, 10.0, 22.0), sum_of_delays=10)
+    y = make_received(3, 0, (3, 1, 0), (5.0, 14.0, 30.0), sum_of_delays=9)
+    z = make_received(2, 1, (2, 1, 0), (40.0, 52.0, 61.0), sum_of_delays=12)
+    return bundle_of(x, y, z)
+
+
+@pytest.mark.parametrize("solver", ["ista", "omp"])
+def test_solve_window_covers_all_unknowns_inside_intervals(solver):
+    system = _system(_busy_bundle())
+    spec = WindowSolveSpec(cs=CsConfig(solver=solver))
+    solution = get_backend("cs").solve_window(system, spec)
+    assert solution.solver == f"cs-{solver}"
+    assert solution.result is not None
+    assert solution.result.status is SolverStatus.OPTIMAL
+    assert solution.result.info["rows"] == 3
+    assert set(solution.estimates) == set(system.variables.keys())
+    for key, value in solution.estimates.items():
+        low, high = system.intervals[key]
+        assert low <= value <= high
+
+
+def test_solve_window_empty_system_is_trivial():
+    only_hop = make_received(1, 0, (1, 0), (0.0, 10.0))
+    system = _system(bundle_of(only_hop))
+    solution = get_backend("cs").solve_window(system, WindowSolveSpec())
+    assert solution.solver == "empty"
+    assert solution.estimates == {}
+    assert solution.result is None
+
+
+def test_cs_config_validation():
+    with pytest.raises(ValueError, match="must be 'ista' or 'omp'"):
+        CsConfig(solver="lasso")
+    with pytest.raises(ValueError, match="max_iterations must be > 0"):
+        CsConfig(max_iterations=0)
+    with pytest.raises(ValueError, match="lambda_scale must be >= 0"):
+        CsConfig(lambda_scale=-0.1)

@@ -100,6 +100,71 @@ def test_estimates_cover_all_unknowns(busy_node_trace):
     assert set(estimates) == set(system.variables.keys())
 
 
+def test_pairing_horizon_boundary_is_excluded():
+    """A generation-time gap of exactly epsilon does NOT pair (the scan
+    breaks on ``>= epsilon_ms``), while any smaller gap does."""
+    x = make_received(2, 0, (2, 1, 0), (0.0, 10.0, 22.0))
+    y = make_received(3, 0, (3, 1, 0), (10.0, 24.0, 30.0))
+    system = _system(bundle_of(x, y))
+    assert enumerate_pairs(system, EstimatorConfig(epsilon_ms=10.0)) == []
+    inside = enumerate_pairs(system, EstimatorConfig(epsilon_ms=10.5))
+    assert len(inside) == 1
+    assert inside[0][0] == 1  # node 1 is the only shared forwarder
+
+
+def test_identical_generation_times_pair_under_any_epsilon():
+    """Zero gap sits strictly below every legal (positive) epsilon."""
+    x = make_received(2, 0, (2, 1, 0), (0.0, 10.0, 22.0))
+    y = make_received(3, 0, (3, 1, 0), (0.0, 12.0, 25.0))
+    system = _system(bundle_of(x, y))
+    pairs = enumerate_pairs(system, EstimatorConfig(epsilon_ms=1e-9))
+    assert len(pairs) == 1
+    node, a, _, b, _ = pairs[0]
+    assert node == 1
+    assert a.packet_id != b.packet_id
+
+
+def test_pair_cap_zero_disables_pairing_but_not_the_solve(busy_node_trace):
+    system = _system(busy_node_trace)
+    config = EstimatorConfig(max_pairs_per_visit=0)
+    assert enumerate_pairs(system, config) == []
+    # The solve degrades to the anchor objective and still covers
+    # every unknown inside its interval.
+    estimates = estimate_arrival_times(system, config)
+    assert set(estimates) == set(system.variables.keys())
+    for key, value in estimates.items():
+        lo, hi = system.intervals[key]
+        assert lo - 1e-3 <= value <= hi + 1e-3
+
+
+def test_self_pairs_excluded_on_multi_hop_revisit():
+    """A packet crossing the same node twice must not pair with itself
+    there — only with other packets' visits."""
+    p = make_received(2, 0, (2, 1, 3, 1, 0), (0.0, 10.0, 20.0, 30.0, 40.0))
+    q = make_received(4, 0, (4, 1, 0), (2.0, 12.0, 24.0))
+    system = _system(bundle_of(p, q))
+    pairs = enumerate_pairs(system, EstimatorConfig(epsilon_ms=1000.0))
+    assert pairs
+    assert all(a.packet_id != b.packet_id for _, a, _, b, _ in pairs)
+    # Each of p's two node-1 visits pairs with q's single visit there.
+    at_shared_node = [pair for pair in pairs if pair[0] == 1]
+    assert len(at_shared_node) == 2
+
+
+def test_estimator_config_rejects_nonpositive_epsilon():
+    with pytest.raises(ValueError, match="epsilon_ms must be > 0"):
+        EstimatorConfig(epsilon_ms=0.0)
+    with pytest.raises(ValueError, match="epsilon_ms must be > 0"):
+        EstimatorConfig(epsilon_ms=-5.0)
+
+
+def test_estimator_config_rejects_negative_pair_cap():
+    with pytest.raises(ValueError, match="max_pairs_per_visit must be >= 0"):
+        EstimatorConfig(max_pairs_per_visit=-1)
+    # Zero is legal: it disables pairing, not the estimator.
+    assert EstimatorConfig(max_pairs_per_visit=0).max_pairs_per_visit == 0
+
+
 def test_anchor_centers_unconstrained_packet():
     """A lone two-hop packet with no peers sits near its interval midpoint."""
     x = make_received(2, 0, (2, 1, 0), (0.0, 30.0, 100.0))

@@ -121,7 +121,7 @@ def test_failed_windows_counted_and_fallback_estimates_used(
         raise SolverError(SolverStatus.ITERATION_LIMIT, "forced failure")
 
     monkeypatch.setattr(
-        "repro.runtime.executor.estimate_arrival_times_info", boom
+        "repro.backends.domo_qp.estimate_arrival_times_info", boom
     )
     estimate = DomoReconstructor(DomoConfig()).estimate(trace.received[:80])
     assert estimate.windows_used >= 1

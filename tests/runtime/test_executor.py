@@ -97,7 +97,7 @@ def test_solver_error_falls_back_to_interval_midpoints(monkeypatch):
         raise SolverError(SolverStatus.NUMERICAL_ERROR, "forced failure")
 
     monkeypatch.setattr(
-        "repro.runtime.executor.estimate_arrival_times_info", boom
+        "repro.backends.domo_qp.estimate_arrival_times_info", boom
     )
     result = solve_one_window(0, ws, WindowSolveSpec())
     assert result.telemetry.solver == "fallback"
@@ -132,7 +132,7 @@ def test_relaxation_ladder_first_rung_drops_sum_upper(monkeypatch):
     systems = _systems()
     ws = systems[0]
     monkeypatch.setattr(
-        "repro.runtime.executor.estimate_arrival_times_info",
+        "repro.backends.domo_qp.estimate_arrival_times_info",
         _failing_first_n(1),
     )
     result = solve_one_window(0, ws, WindowSolveSpec())
@@ -156,7 +156,7 @@ def test_relaxation_ladder_walks_to_order_only(monkeypatch):
     systems = _systems()
     ws = systems[0]
     monkeypatch.setattr(
-        "repro.runtime.executor.estimate_arrival_times_info",
+        "repro.backends.domo_qp.estimate_arrival_times_info",
         _failing_first_n(3),
     )
     result = solve_one_window(0, ws, WindowSolveSpec())
@@ -173,7 +173,7 @@ def test_relaxed_windows_surface_in_summary(monkeypatch):
 
     systems = _systems()
     monkeypatch.setattr(
-        "repro.runtime.executor.estimate_arrival_times_info",
+        "repro.backends.domo_qp.estimate_arrival_times_info",
         _failing_first_n(1),
     )
     report = execute_windows(systems, WindowSolveSpec())

@@ -1,0 +1,247 @@
+"""Per-stream estimator backends through the serve tier.
+
+The acceptance criterion of the backend subsystem: a served stream
+opened with ``"backend": "cs"`` returns CS results while a concurrent
+default (``domo-qp``) stream on the same server stays *bit-identical* to
+a server that never saw a CS stream. Plus the admission semantics (a
+backend choice binds at stream open, conflicts are rejected, unknown
+names never open a stream) and durability (a crashed CS stream recovers
+as a CS stream).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import DomoConfig, DomoReconstructor
+from repro.serve.client import connect
+from repro.serve.durability import DurabilityConfig
+from repro.serve.server import ReconstructionServer, run_in_thread
+from repro.serve.session import BackendMismatchError, SessionManager
+from repro.sim import NetworkConfig, simulate_network
+
+
+def _packets(seed=7):
+    trace = simulate_network(
+        NetworkConfig(
+            num_nodes=16,
+            placement="grid",
+            duration_ms=20_000.0,
+            packet_period_ms=2_500.0,
+            seed=seed,
+        )
+    )
+    return sorted(trace.received, key=lambda p: p.sink_arrival_ms)
+
+
+@pytest.fixture
+def sock_path(tmp_path):
+    return str(tmp_path / "domo.sock")
+
+
+# -- manager-level admission semantics ----------------------------------
+
+
+def test_backend_binds_at_stream_open_and_conflicts_reject():
+    manager = SessionManager(DomoConfig())
+    try:
+        session = manager.get_or_create("s", backend="cs")
+        assert session.backend == "cs"
+        assert session.config.backend == "cs"
+        # No choice on the wire, or the same choice again: the live
+        # session answers.
+        assert manager.get_or_create("s") is session
+        assert manager.get_or_create("s", backend="cs") is session
+        with pytest.raises(BackendMismatchError, match="cannot switch"):
+            manager.get_or_create("s", backend="domo-qp")
+        # The default stream keeps the shared config object untouched.
+        default = manager.get_or_create("d")
+        assert default.backend == "domo-qp"
+        assert default.config is manager.config
+    finally:
+        manager.close()
+
+
+def test_unknown_backend_never_opens_a_stream():
+    manager = SessionManager(DomoConfig())
+    try:
+        with pytest.raises(ValueError, match="not registered"):
+            manager.get_or_create("s", backend="nope")
+        assert manager.get("s") is None
+    finally:
+        manager.close()
+
+
+def test_manager_runs_both_backends_without_contamination():
+    packets = _packets()
+    reference = DomoReconstructor(DomoConfig()).estimate(packets)
+
+    manager = SessionManager(DomoConfig())
+    try:
+        qp = manager.get_or_create("qp")
+        cs = manager.get_or_create("cstream", backend="cs")
+        for lo in range(0, len(packets), 13):
+            qp.ingest(packets[lo:lo + 13])
+            cs.ingest(packets[lo:lo + 13])
+        manager.drain_all()
+        assert manager.stats()["streams"]["qp"]["backend"] == "domo-qp"
+        assert manager.stats()["streams"]["cstream"]["backend"] == "cs"
+
+        from repro.serve.protocol import arrival_key_of
+
+        def merged(session):
+            estimates = {}
+            for row in session.results:
+                for text, value in row["estimates"].items():
+                    estimates[arrival_key_of(text)] = value
+            return estimates
+
+        qp_estimates, cs_estimates = merged(qp), merged(cs)
+        # The domo-qp stream is bit-identical to a batch run — sharing
+        # the pool with a CS stream changed nothing.
+        assert qp_estimates == reference.estimates
+        # The CS stream covered the same unknowns with its own values.
+        assert set(cs_estimates) == set(qp_estimates)
+        assert cs_estimates != qp_estimates
+    finally:
+        manager.close()
+
+
+# -- over the wire -------------------------------------------------------
+
+
+def test_served_cs_stream_leaves_concurrent_qp_stream_unaffected(sock_path):
+    packets = _packets()
+
+    def run_server(feed_cs):
+        handle = run_in_thread(
+            ReconstructionServer(DomoConfig(), socket_path=sock_path)
+        )
+        try:
+            failures = []
+
+            def feed(stream, backend):
+                try:
+                    with connect(socket_path=sock_path) as client:
+                        client.send_packets(
+                            packets, stream=stream, backend=backend
+                        )
+                        assert client.health()["ok"]
+                        failures.extend(client.async_errors)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=feed, args=("qp", None))]
+            if feed_cs:
+                threads.append(
+                    threading.Thread(target=feed, args=("cstream", "cs"))
+                )
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures, failures
+            with connect(socket_path=sock_path) as query:
+                assert query.flush("qp")["ok"]
+                qp = query.estimates("qp")
+                cs = None
+                if feed_cs:
+                    assert query.flush("cstream")["ok"]
+                    cs = query.estimates("cstream")
+            return qp, cs
+        finally:
+            handle.stop()
+
+    with_cs, cs = run_server(feed_cs=True)
+    alone, _ = run_server(feed_cs=False)
+    # The criterion: the domo-qp stream is bit-identical whether or not
+    # a CS stream ran concurrently on the same server and pool.
+    assert with_cs == alone
+    assert set(cs) == set(with_cs)
+    assert cs != with_cs
+
+
+def test_backend_conflict_on_a_live_stream_is_an_async_error(sock_path):
+    packets = _packets()
+    handle = run_in_thread(
+        ReconstructionServer(DomoConfig(), socket_path=sock_path)
+    )
+    try:
+        with connect(socket_path=sock_path) as client:
+            client.send_packets(packets[:10], stream="s")
+            assert client.health()["ok"]
+            assert not client.async_errors
+            client.send_packet(packets[10], stream="s", backend="cs")
+            assert client.health()["ok"]
+            assert any(
+                "cannot switch" in error.get("error", "")
+                for error in client.async_errors
+            )
+            # An unknown backend name never opens its stream.
+            client.send_packet(packets[11], stream="t", backend="nope")
+            assert client.health()["ok"]
+            assert any(
+                "not registered" in error.get("error", "")
+                for error in client.async_errors
+            )
+            reply = client.results("t")
+            assert not reply["ok"] and "unknown stream" in reply["error"]
+    finally:
+        handle.stop()
+
+
+# -- durability ----------------------------------------------------------
+
+
+def test_crashed_cs_stream_recovers_as_a_cs_stream(tmp_path):
+    packets = _packets()
+
+    def manager():
+        return SessionManager(
+            DomoConfig(),
+            durability=DurabilityConfig(
+                wal_dir=tmp_path / "wal", snapshot_interval=3
+            ),
+        )
+
+    crashed = manager()
+    session = crashed.get_or_create("s", backend="cs")
+    for lo in range(0, len(packets), 16):
+        session.ingest(packets[lo:lo + 16])
+    session.flush()
+    expected = list(session.results)
+    crashed.pool.close()  # simulate death: no drain, no close
+
+    recovered = manager()
+    try:
+        summary = recovered.recover_all()
+        assert set(summary) == {"s"}
+        assert summary["s"]["failed"] is None
+        session = recovered.get("s")
+        # The backend survives the crash — via snapshot or, before the
+        # first snapshot, the backend meta file next to the WAL.
+        assert session.backend == "cs"
+        assert session.config.backend == "cs"
+        assert session.results == expected  # bit-identical replay
+    finally:
+        recovered.close()
+
+
+def test_backend_meta_alone_recovers_pre_snapshot_crash(tmp_path):
+    packets = _packets()
+    durability = DurabilityConfig(
+        # A huge cadence: the crash happens before any snapshot exists.
+        wal_dir=tmp_path / "wal", snapshot_interval=10_000
+    )
+    crashed = SessionManager(DomoConfig(), durability=durability)
+    session = crashed.get_or_create("s", backend="cs")
+    session.ingest(packets[:32])
+    crashed.pool.close()
+
+    recovered = SessionManager(DomoConfig(), durability=durability)
+    try:
+        summary = recovered.recover_all()
+        assert summary["s"]["snapshot_cursor"] is None
+        assert recovered.get("s").backend == "cs"
+    finally:
+        recovered.close()

@@ -51,9 +51,9 @@ def test_round_robin_keeps_a_small_stream_ahead_of_a_flood():
     dispatch_order = []
     real_submit = pool._executor.submit
 
-    def recording_submit(ticket, ws):
+    def recording_submit(ticket, ws, spec=None):
         dispatch_order.append(pool._routes[ticket][0])
-        real_submit(ticket, ws)
+        real_submit(ticket, ws, spec)
 
     pool._executor.submit = recording_submit
     flood = pool.session("flood")

@@ -244,7 +244,14 @@ def test_version_flag_reports_package_version(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
-    assert capsys.readouterr().out.strip() == f"domo {__version__}"
+    out = capsys.readouterr().out.strip()
+    assert out.startswith(f"domo {__version__}")
+    # The version banner also advertises the registered backends
+    # (argparse reflows the string, so assert content, not layout).
+    from repro.backends import DEFAULT_BACKEND, backend_names
+
+    assert f"backends: {', '.join(backend_names())}" in out
+    assert f"(default {DEFAULT_BACKEND})" in out
     # The single source of truth: packaging metadata must agree.
     with open("pyproject.toml", encoding="utf-8") as handle:
         match = re.search(
